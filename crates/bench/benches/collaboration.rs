@@ -1,0 +1,29 @@
+//! Benches for the collaboration analyses (Table VI, Figs. 15–18, §V).
+
+use bench::bench_trace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddos_analytics::collab::concurrent::{CollabAnalysis, PairFocus};
+use ddos_analytics::collab::multistage::MultistageAnalysis;
+use ddos_schema::Family;
+
+fn bench_collaboration(c: &mut Criterion) {
+    let ds = &bench_trace().dataset;
+    let mut g = c.benchmark_group("collaboration");
+    g.bench_function("t6_collab_analysis", |b| {
+        b.iter(|| CollabAnalysis::compute(ds))
+    });
+    let analysis = CollabAnalysis::compute(ds);
+    g.bench_function("f16_pair_focus", |b| {
+        b.iter(|| PairFocus::compute(ds, &analysis, Family::Dirtjumper, Family::Pandora))
+    });
+    g.bench_function("f15_intra_points", |b| {
+        b.iter(|| analysis.intra_family_points(ds, Family::Dirtjumper))
+    });
+    g.bench_function("f17_f18_multistage", |b| {
+        b.iter(|| MultistageAnalysis::compute(ds))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collaboration);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benches for the substrate itself: world synthesis, trace generation,
+//! and the binary codec.
+
+use bench::bench_trace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddos_geo::{GeoConfig, GeoDb};
+use ddos_schema::codec;
+use ddos_sim::{generate, SimConfig};
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    g.sample_size(10);
+    g.bench_function("geodb_synthesize_default", |b| {
+        b.iter(|| GeoDb::synthesize(&GeoConfig::default()))
+    });
+    for scale in [0.02f64, 0.1] {
+        g.bench_with_input(
+            BenchmarkId::new("generate", format!("scale_{scale}")),
+            &scale,
+            |b, &scale| {
+                b.iter(|| {
+                    generate(&SimConfig {
+                        scale,
+                        ..SimConfig::default()
+                    })
+                })
+            },
+        );
+    }
+    let ds = &bench_trace().dataset;
+    g.bench_function("codec_encode", |b| b.iter(|| codec::encode(ds)));
+    let bytes = codec::encode(ds);
+    g.bench_function("codec_decode", |b| b.iter(|| codec::decode(&bytes).expect("decodes")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

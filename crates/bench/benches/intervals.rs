@@ -1,0 +1,37 @@
+//! Benches for the interval and duration analyses (Figs. 2–7, §III-B).
+
+use bench::bench_trace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddos_analytics::overview::daily::DailyDistribution;
+use ddos_analytics::overview::duration::DurationAnalysis;
+use ddos_analytics::overview::intervals::{
+    all_intervals, family_intervals, interval_cdf, ConcurrencyAnalysis, IntervalStats,
+};
+use ddos_schema::Family;
+
+fn bench_intervals(c: &mut Criterion) {
+    let ds = &bench_trace().dataset;
+    let mut g = c.benchmark_group("intervals");
+    g.bench_function("f2_daily_distribution", |b| {
+        b.iter(|| DailyDistribution::compute(ds))
+    });
+    g.bench_function("f3_all_intervals", |b| b.iter(|| all_intervals(ds)));
+    g.bench_function("f5_family_intervals_dirtjumper", |b| {
+        b.iter(|| family_intervals(ds, Family::Dirtjumper))
+    });
+    let ivs = family_intervals(ds, Family::Dirtjumper);
+    g.bench_function("f3_interval_cdf", |b| b.iter(|| interval_cdf(&ivs)));
+    g.bench_function("f3_interval_stats", |b| {
+        b.iter(|| IntervalStats::compute(&ivs))
+    });
+    g.bench_function("s3b_concurrency_analysis", |b| {
+        b.iter(|| ConcurrencyAnalysis::compute(ds))
+    });
+    g.bench_function("f6_f7_duration_analysis", |b| {
+        b.iter(|| DurationAnalysis::compute(ds))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_intervals);
+criterion_main!(benches);

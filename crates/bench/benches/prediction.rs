@@ -1,0 +1,38 @@
+//! Benches for the ARIMA prediction pipeline (Table IV, Figs. 12–13).
+
+use bench::{bench_bots, bench_trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddos_analytics::source::dispersion::FamilyDispersion;
+use ddos_analytics::source::prediction::predict_family;
+use ddos_schema::Family;
+use ddos_stats::timeseries::forecast::split_forecast;
+use ddos_stats::{ArimaModel, ArimaSpec};
+
+fn bench_prediction(c: &mut Criterion) {
+    let trace = bench_trace();
+    let ds = &trace.dataset;
+    let bots = bench_bots();
+    let series = FamilyDispersion::compute(ds, bots, Family::Dirtjumper).asymmetric_values();
+
+    let mut g = c.benchmark_group("prediction");
+    g.sample_size(10);
+    for spec in [
+        ArimaSpec::new(1, 0, 0),
+        ArimaSpec::new(2, 1, 1),
+        ArimaSpec::new(3, 1, 2),
+    ] {
+        g.bench_with_input(BenchmarkId::new("arima_fit", spec), &spec, |b, &spec| {
+            b.iter(|| ArimaModel::fit(&series, spec).expect("fits"))
+        });
+    }
+    g.bench_function("t4_split_forecast_dirtjumper", |b| {
+        b.iter(|| split_forecast(&series, ArimaSpec::DEFAULT, Some(2_700)).expect("forecasts"))
+    });
+    g.bench_function("t4_predict_family_end_to_end", |b| {
+        b.iter(|| predict_family(ds, bots, Family::Dirtjumper, ArimaSpec::DEFAULT).expect("ok"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

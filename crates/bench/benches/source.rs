@@ -1,0 +1,34 @@
+//! Benches for the source analyses (Figs. 8–11, §IV-A).
+
+use bench::{bench_bots, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddos_analytics::source::dispersion::{qualifying_families, FamilyDispersion};
+use ddos_analytics::source::shift::ShiftAnalysis;
+use ddos_analytics::util::BotIndex;
+use ddos_schema::Family;
+
+fn bench_source(c: &mut Criterion) {
+    let trace = bench_trace();
+    let ds = &trace.dataset;
+    let bots = bench_bots();
+    let mut g = c.benchmark_group("source");
+    g.sample_size(20);
+    g.bench_function("bot_index_build", |b| b.iter(|| BotIndex::build(ds)));
+    g.bench_function("f8_shift_analysis", |b| {
+        b.iter(|| ShiftAnalysis::compute(ds, bots))
+    });
+    g.bench_function("f9_dispersion_dirtjumper", |b| {
+        b.iter(|| FamilyDispersion::compute(ds, bots, Family::Dirtjumper))
+    });
+    g.bench_function("f9_qualifying_families", |b| {
+        b.iter(|| qualifying_families(ds, bots))
+    });
+    let fd = FamilyDispersion::compute(ds, bots, Family::Dirtjumper);
+    g.bench_function("f10_asymmetric_histogram", |b| {
+        b.iter(|| fd.asymmetric_histogram(40))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_source);
+criterion_main!(benches);

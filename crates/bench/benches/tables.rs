@@ -1,0 +1,27 @@
+//! Benches for the paper's tables: Table II (protocol preferences),
+//! Table III (workload summary), Table V (country-level targets).
+
+use bench::bench_trace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddos_analytics::overview::protocols::{protocol_preferences, ProtocolPopularity};
+use ddos_analytics::target::country::{all_profiles, overall_top_countries};
+
+fn bench_tables(c: &mut Criterion) {
+    let ds = &bench_trace().dataset;
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("t2_protocol_preferences", |b| {
+        b.iter(|| protocol_preferences(ds))
+    });
+    g.bench_function("f1_protocol_popularity", |b| {
+        b.iter(|| ProtocolPopularity::compute(ds))
+    });
+    g.bench_function("t3_workload_summary", |b| b.iter(|| ds.summary()));
+    g.bench_function("t5_country_profiles", |b| b.iter(|| all_profiles(ds)));
+    g.bench_function("t5_overall_top_countries", |b| {
+        b.iter(|| overall_top_countries(ds, 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

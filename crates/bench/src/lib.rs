@@ -1,0 +1,28 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Benches operate on one lazily generated 10%-scale trace (~5,000
+//! attacks) so criterion iterations measure *analysis* cost, not
+//! generation cost. The `repro` binary (in `src/bin`) regenerates every
+//! paper table and figure at any scale.
+
+use std::sync::OnceLock;
+
+use ddos_analytics::util::BotIndex;
+use ddos_sim::{generate, GeneratedTrace, SimConfig};
+
+/// The shared benchmark trace (10% volume).
+pub fn bench_trace() -> &'static GeneratedTrace {
+    static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        generate(&SimConfig {
+            scale: 0.1,
+            ..SimConfig::default()
+        })
+    })
+}
+
+/// The bot-location join over the benchmark trace.
+pub fn bench_bots() -> &'static BotIndex {
+    static IDX: OnceLock<BotIndex> = OnceLock::new();
+    IDX.get_or_init(|| BotIndex::build(&bench_trace().dataset))
+}

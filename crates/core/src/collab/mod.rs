@@ -1,0 +1,5 @@
+//! §V — collaborative attacks: concurrent collaborations and multistage
+//! (consecutive) attacks.
+
+pub mod concurrent;
+pub mod multistage;

@@ -1,0 +1,40 @@
+//! `ddos-analytics` — the paper's DDoS characterization and analysis
+//! pipeline.
+//!
+//! This crate is the primary contribution of the reproduced paper: given
+//! a seven-month attack trace in the feed's schemas (a
+//! [`ddos_schema::Dataset`]), it computes every characterization the
+//! paper reports:
+//!
+//! | Paper section | Module | Artifacts |
+//! |---|---|---|
+//! | §II-D, §III overview | [`overview`] | Fig. 1–7, Table II |
+//! | Table III | [`summary`] | workload summary |
+//! | §IV-A source analysis | [`source`] | Fig. 8–13, Table IV |
+//! | §IV-B target analysis | [`target`] | Table V, Fig. 14 |
+//! | §V collaborations | [`collab`] | Table VI, Fig. 15–18 |
+//! | abstract finding 2 | [`target::recurrence`] | next-attack start prediction |
+//! | "insight into defenses" | [`defense`] | blacklist & latency simulations |
+//!
+//! [`pipeline::AnalysisReport`] runs everything at once; the `ddos-report`
+//! crate renders the results as the paper's tables and figure series, and
+//! the `bench` crate regenerates each artifact individually.
+//!
+//! The analyses are *pure*: they read the dataset (plus the bot-location
+//! join built once in [`util`]) and never mutate it, so they parallelize
+//! and compose freely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collab;
+pub mod defense;
+pub mod overview;
+pub mod pipeline;
+pub mod preprocess;
+pub mod source;
+pub mod summary;
+pub mod target;
+pub mod util;
+
+pub use pipeline::AnalysisReport;

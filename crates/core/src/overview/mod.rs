@@ -1,0 +1,67 @@
+//! §III — overview of the DDoS attacks: protocol mix, daily density,
+//! inter-attack intervals, durations.
+
+pub mod activity;
+pub mod daily;
+pub mod duration;
+pub mod intervals;
+pub mod protocols;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Hand-built miniature datasets for overview unit tests.
+
+    use ddos_schema::record::Location;
+    use ddos_schema::{
+        Asn, AttackRecord, BotnetId, CityId, CountryCode, Dataset, DatasetBuilder, DdosId, Family,
+        IpAddr4, LatLon, OrgId, Protocol, Timestamp, Window,
+    };
+
+    /// Window of 10 days starting at the epoch.
+    pub fn window() -> Window {
+        Window::new(Timestamp(0), Timestamp(10 * 86_400)).unwrap()
+    }
+
+    pub fn location(cc: &str, city: u32) -> Location {
+        Location {
+            country: cc.parse().unwrap(),
+            city: CityId(city),
+            org: OrgId(city),
+            asn: Asn(64_000 + city),
+            coords: LatLon::new_unchecked(10.0 + city as f64, 20.0),
+        }
+    }
+
+    /// A minimal attack: family, id, start, duration, target ip last
+    /// octet.
+    pub fn attack(
+        family: Family,
+        id: u64,
+        start: i64,
+        duration: i64,
+        target_octet: u8,
+    ) -> AttackRecord {
+        AttackRecord {
+            id: DdosId(id),
+            botnet: BotnetId(family.index() as u32 * 10 + 1),
+            family,
+            category: Protocol::Http,
+            target_ip: IpAddr4::from_octets(198, 51, 100, target_octet),
+            target: location("US", 1),
+            start: Timestamp(start),
+            end: Timestamp(start + duration),
+            sources: vec![IpAddr4::from_octets(203, 0, 113, 1)],
+        }
+    }
+
+    pub fn dataset(attacks: Vec<AttackRecord>) -> Dataset {
+        let mut b = DatasetBuilder::new(window());
+        b.extend_attacks(attacks).unwrap();
+        b.build().unwrap()
+    }
+
+    /// CountryCode helper.
+    pub fn cc(code: &str) -> CountryCode {
+        code.parse().unwrap()
+    }
+}

@@ -1,0 +1,164 @@
+//! The one-call analysis pipeline: everything the paper reports, from
+//! one dataset.
+
+use ddos_schema::{Dataset, Family};
+use ddos_stats::ArimaSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::collab::concurrent::{CollabAnalysis, PairFocus};
+use crate::collab::multistage::MultistageAnalysis;
+use crate::defense::{detection_latency_sweep, BlacklistSim, LatencyPoint};
+use crate::overview::activity::{activity_levels, FamilyActivity};
+use crate::overview::daily::DailyDistribution;
+use crate::overview::duration::DurationAnalysis;
+use crate::overview::intervals::{self, ConcurrencyAnalysis, IntervalStats};
+use crate::overview::protocols::{protocol_preferences, ProtocolFamilyRow, ProtocolPopularity};
+use crate::source::dispersion::{qualifying_families, FamilyDispersion};
+use crate::source::prediction::PredictionAnalysis;
+use crate::source::shift::ShiftAnalysis;
+use crate::summary::SummaryComparison;
+use crate::target::country::{all_profiles, overall_top_countries, FamilyCountryProfile};
+use crate::target::recurrence::RecurrenceAnalysis;
+use crate::util::BotIndex;
+
+/// Every analysis of the paper, computed over one trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Fig. 1 — protocol popularity.
+    pub protocols: ProtocolPopularity,
+    /// Table II — per-family protocol preferences.
+    pub protocol_rows: Vec<ProtocolFamilyRow>,
+    /// Table III — workload summary vs the paper.
+    pub summary: SummaryComparison,
+    /// Fig. 2 — daily distribution.
+    pub daily: DailyDistribution,
+    /// §III-B — interval statistics per family (None where a family has
+    /// fewer than two attacks).
+    pub interval_stats: Vec<(Family, Option<IntervalStats>)>,
+    /// §III-B — interval statistics across all attacks.
+    pub all_interval_stats: Option<IntervalStats>,
+    /// §III-B — concurrency classification (single- vs multi-family).
+    pub concurrency: ConcurrencyAnalysis,
+    /// §III-C / Figs. 6–7 — durations.
+    pub durations: Option<DurationAnalysis>,
+    /// Fig. 8 — weekly shift analysis.
+    pub shifts: ShiftAnalysis,
+    /// Fig. 9 — qualifying families' dispersion series.
+    pub dispersion: Vec<FamilyDispersion>,
+    /// Table IV / Figs. 12–13 — ARIMA prediction.
+    pub prediction: PredictionAnalysis,
+    /// Table V — country-level target profiles.
+    pub target_countries: Vec<FamilyCountryProfile>,
+    /// §IV-B — the overall top victim countries.
+    pub overall_targets: Vec<(ddos_schema::CountryCode, usize)>,
+    /// Table VI / Figs. 15–16 — concurrent collaborations.
+    pub collaborations: CollabAnalysis,
+    /// The Dirtjumper×Pandora deep dive (Fig. 16), when present.
+    pub flagship_pair: Option<PairFocus>,
+    /// §V-B / Figs. 17–18 — multistage chains.
+    pub multistage: MultistageAnalysis,
+    /// §III-A — per-family activity levels.
+    pub activity: Vec<FamilyActivity>,
+    /// Abstract finding 2 — next-attack start-time prediction.
+    pub recurrence: RecurrenceAnalysis,
+    /// §V summary — blacklist warm-up simulation.
+    pub blacklist: BlacklistSim,
+    /// §III-D — detection-latency sweep (1 min, 10 min, 1 h, 4 h, 1 day).
+    pub latency: Vec<LatencyPoint>,
+}
+
+impl AnalysisReport {
+    /// Runs the full pipeline with the default ARIMA order.
+    pub fn run(ds: &Dataset) -> AnalysisReport {
+        Self::run_with(ds, ArimaSpec::DEFAULT)
+    }
+
+    /// Runs the full pipeline with a chosen ARIMA order.
+    pub fn run_with(ds: &Dataset, spec: ArimaSpec) -> AnalysisReport {
+        let bots = BotIndex::build(ds);
+        let collaborations = CollabAnalysis::compute(ds);
+        let flagship_pair =
+            PairFocus::compute(ds, &collaborations, Family::Dirtjumper, Family::Pandora);
+        AnalysisReport {
+            protocols: ProtocolPopularity::compute(ds),
+            protocol_rows: protocol_preferences(ds),
+            summary: SummaryComparison::compute(ds),
+            daily: DailyDistribution::compute(ds),
+            interval_stats: Family::ACTIVE
+                .into_iter()
+                .map(|f| {
+                    let ivs = intervals::family_intervals(ds, f);
+                    (f, IntervalStats::compute(&ivs))
+                })
+                .collect(),
+            all_interval_stats: IntervalStats::compute(&intervals::all_intervals(ds)),
+            concurrency: ConcurrencyAnalysis::compute(ds),
+            durations: DurationAnalysis::compute(ds),
+            shifts: ShiftAnalysis::compute(ds, &bots),
+            dispersion: qualifying_families(ds, &bots),
+            prediction: PredictionAnalysis::compute(ds, &bots, spec),
+            target_countries: all_profiles(ds),
+            overall_targets: overall_top_countries(ds, 5),
+            collaborations,
+            flagship_pair,
+            multistage: MultistageAnalysis::compute(ds),
+            activity: activity_levels(ds),
+            recurrence: RecurrenceAnalysis::compute(ds, None),
+            blacklist: BlacklistSim::run(ds),
+            latency: detection_latency_sweep(
+                ds,
+                &[60.0, 600.0, 3_600.0, 4.0 * 3_600.0, 86_400.0],
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overview::test_support::{attack, dataset};
+
+    #[test]
+    fn report_runs_on_a_tiny_dataset() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Pandora, 2, 120, 700, 1),
+            attack(Family::Dirtjumper, 3, 5_000, 900, 2),
+        ]);
+        let r = AnalysisReport::run(&ds);
+        assert_eq!(r.summary.measured.attacks, 3);
+        assert_eq!(r.protocols.counts[0].1, 3);
+        assert_eq!(r.daily.counts[0], 3);
+        assert_eq!(r.collaborations.pairs.len(), 1);
+        assert!(r.flagship_pair.is_some());
+        assert!(r.durations.is_some());
+        // Only families with ≥2 attacks have interval stats.
+        let dj = r
+            .interval_stats
+            .iter()
+            .find(|&&(f, _)| f == Family::Dirtjumper)
+            .unwrap();
+        assert!(dj.1.is_some());
+        let nitol = r
+            .interval_stats
+            .iter()
+            .find(|&&(f, _)| f == Family::Nitol)
+            .unwrap();
+        assert!(nitol.1.is_none());
+    }
+
+    #[test]
+    fn report_runs_on_an_empty_dataset() {
+        let ds = dataset(vec![]);
+        let r = AnalysisReport::run(&ds);
+        assert!(r.durations.is_none());
+        assert!(r.recurrence.trains.is_empty());
+        assert!(r.blacklist.hits.is_empty());
+        assert_eq!(r.latency.len(), 5);
+        assert!(r.all_interval_stats.is_none());
+        assert!(r.flagship_pair.is_none());
+        assert!(r.dispersion.is_empty());
+        assert!(r.prediction.rows.is_empty());
+        assert!(r.multistage.chains.is_empty());
+    }
+}

@@ -1,0 +1,6 @@
+//! §IV-A — source analysis: where the bots are, how they move, and how
+//! predictable they are.
+
+pub mod dispersion;
+pub mod prediction;
+pub mod shift;

@@ -1,0 +1,160 @@
+//! Reserved (bogon) IPv4 space.
+//!
+//! The prefix allocator must never hand out addresses from special-use
+//! ranges — a synthetic trace whose bots sit in `10.0.0.0/8` would be
+//! rejected by any real ingestion pipeline. The list follows RFC 6890's
+//! special-purpose registry (the ranges relevant to unicast allocation).
+
+use ddos_schema::ip::Prefix;
+use ddos_schema::IpAddr4;
+
+macro_rules! prefix {
+    ($a:literal, $b:literal, $c:literal, $d:literal, $len:literal) => {
+        Prefix {
+            network: IpAddr4::from_octets($a, $b, $c, $d),
+            len: $len,
+        }
+    };
+}
+
+/// Special-use ranges excluded from allocation (RFC 6890 and friends).
+pub const RESERVED: &[Prefix] = &[
+    prefix!(0, 0, 0, 0, 8),        // "this network"
+    prefix!(10, 0, 0, 0, 8),       // private
+    prefix!(100, 64, 0, 0, 10),    // carrier-grade NAT
+    prefix!(127, 0, 0, 0, 8),      // loopback
+    prefix!(169, 254, 0, 0, 16),   // link local
+    prefix!(172, 16, 0, 0, 12),    // private
+    prefix!(192, 0, 0, 0, 24),     // IETF protocol assignments
+    prefix!(192, 0, 2, 0, 24),     // TEST-NET-1
+    prefix!(192, 88, 99, 0, 24),   // 6to4 relay anycast
+    prefix!(192, 168, 0, 0, 16),   // private
+    prefix!(198, 18, 0, 0, 15),    // benchmarking
+    prefix!(198, 51, 100, 0, 24),  // TEST-NET-2
+    prefix!(203, 0, 113, 0, 24),   // TEST-NET-3
+    prefix!(224, 0, 0, 0, 4),      // multicast
+    prefix!(240, 0, 0, 0, 4),      // reserved / future use
+];
+
+/// Whether an address lies in any reserved range.
+pub fn is_reserved(ip: IpAddr4) -> bool {
+    RESERVED.iter().any(|p| p.contains(ip))
+}
+
+/// Whether a candidate block `[start, start + size)` overlaps any
+/// reserved range. `size` must be a power-of-two block size.
+pub fn block_overlaps_reserved(start: u32, size: u64) -> bool {
+    let end = u64::from(start) + size - 1;
+    RESERVED.iter().any(|p| {
+        let r_start = u64::from(p.first().value());
+        let r_end = u64::from(p.last().value());
+        u64::from(start) <= r_end && r_start <= end
+    })
+}
+
+/// The start of the next block of `size` addresses at or after `start`
+/// that clears every reserved range (aligned to `size`). Returns `None`
+/// when the space is exhausted.
+pub fn next_clear_block(start: u64, size: u64) -> Option<u32> {
+    debug_assert!(size.is_power_of_two());
+    let mut candidate = start.div_ceil(size) * size;
+    loop {
+        if candidate + size > u64::from(u32::MAX) + 1 {
+            return None;
+        }
+        if !block_overlaps_reserved(candidate as u32, size) {
+            return Some(candidate as u32);
+        }
+        // Jump past the colliding reserved range, keeping alignment.
+        let colliding = RESERVED
+            .iter()
+            .filter(|p| {
+                let r_start = u64::from(p.first().value());
+                let r_end = u64::from(p.last().value());
+                candidate <= r_end && r_start < candidate + size
+            })
+            .map(|p| u64::from(p.last().value()) + 1)
+            .max()
+            .expect("overlap implies a collider");
+        candidate = colliding.div_ceil(size) * size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_bogons_are_reserved() {
+        for (a, b, c, d) in [
+            (10u8, 1u8, 2u8, 3u8),
+            (127, 0, 0, 1),
+            (172, 16, 5, 5),
+            (172, 31, 255, 255),
+            (192, 168, 1, 1),
+            (224, 0, 0, 1),
+            (255, 255, 255, 255),
+            (100, 64, 0, 1),
+            (169, 254, 9, 9),
+        ] {
+            assert!(is_reserved(IpAddr4::from_octets(a, b, c, d)), "{a}.{b}.{c}.{d}");
+        }
+    }
+
+    #[test]
+    fn ordinary_unicast_is_not_reserved() {
+        for (a, b, c, d) in [
+            (1u8, 2u8, 3u8, 4u8),
+            (8, 8, 8, 8),
+            (100, 63, 255, 255), // just below CGN space
+            (172, 15, 255, 255), // just below private /12
+            (172, 32, 0, 0),     // just above private /12
+            (11, 0, 0, 0),
+            (223, 255, 255, 255),
+        ] {
+            assert!(!is_reserved(IpAddr4::from_octets(a, b, c, d)), "{a}.{b}.{c}.{d}");
+        }
+    }
+
+    #[test]
+    fn block_overlap_detection() {
+        // A /7 block starting at 10.0.0.0 overlaps private space.
+        assert!(block_overlaps_reserved(
+            IpAddr4::from_octets(10, 0, 0, 0).value(),
+            1 << 25
+        ));
+        assert!(!block_overlaps_reserved(
+            IpAddr4::from_octets(11, 0, 0, 0).value(),
+            1 << 20
+        ));
+        // Block ending exactly at a reserved start-1 is clear.
+        let start = u64::from(IpAddr4::from_octets(9, 255, 240, 0).value());
+        assert!(!block_overlaps_reserved(start as u32, 1 << 12));
+    }
+
+    #[test]
+    fn next_clear_block_skips_reserved_ranges() {
+        // Asking inside 10/8 lands just past it, aligned.
+        let inside_ten = u64::from(IpAddr4::from_octets(10, 5, 0, 0).value());
+        let next = next_clear_block(inside_ten, 1 << 12).unwrap();
+        assert!(!block_overlaps_reserved(next, 1 << 12));
+        assert!(u64::from(next) >= u64::from(IpAddr4::from_octets(11, 0, 0, 0).value()));
+        // Clear space returns the aligned candidate itself.
+        let clear = u64::from(IpAddr4::from_octets(20, 0, 0, 0).value());
+        assert_eq!(next_clear_block(clear, 1 << 12), Some(clear as u32));
+    }
+
+    #[test]
+    fn next_clear_block_exhausts_at_the_top() {
+        // 240/4 runs to the end of the space: nothing fits after it.
+        let top = u64::from(IpAddr4::from_octets(250, 0, 0, 0).value());
+        assert_eq!(next_clear_block(top, 1 << 12), None);
+    }
+
+    #[test]
+    fn reserved_list_is_well_formed() {
+        for p in RESERVED {
+            assert_eq!(p.network.value() & !Prefix::mask(p.len), 0, "{p} has host bits");
+        }
+    }
+}

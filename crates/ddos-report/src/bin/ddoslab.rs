@@ -1,0 +1,241 @@
+//! `ddoslab` — the workbench CLI.
+//!
+//! ```text
+//! ddoslab generate --scale 1.0 --seed 0xDD05EED --out trace.ddtl
+//! ddoslab analyze trace.ddtl            # full report to stdout
+//! ddoslab analyze trace.ddtl --json     # AnalysisReport as JSON
+//! ddoslab export-csv trace.ddtl out.csv # attack records as CSV
+//! ddoslab import-csv raw.csv out.ddtl   # CSV (optionally unmerged) -> trace
+//! ddoslab info trace.ddtl               # summary only
+//! ```
+
+use std::process::ExitCode;
+
+use ddos_analytics::AnalysisReport;
+use ddos_schema::{codec, csv, Dataset, DatasetBuilder, Seconds, Window};
+use ddos_sim::{generate, SimConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("export-csv") => cmd_export_csv(&args[1..]),
+        Some("import-csv") => cmd_import_csv(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try `ddoslab help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ddoslab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "ddoslab — botnet DDoS trace workbench\n\n\
+         USAGE:\n\
+         \x20 ddoslab generate [--scale F] [--seed N] [--no-snapshots] --out FILE\n\
+         \x20 ddoslab analyze FILE [--json]\n\
+         \x20 ddoslab export-csv FILE OUT.csv\n\
+         \x20 ddoslab import-csv IN.csv OUT.ddtl [--merge-gap SECONDS]\n\
+         \x20 ddoslab info FILE\n\n\
+         Traces use the binary DDTL format (ddos_schema::codec).\n\
+         `import-csv` applies the paper's §II-D record merging (default gap 60 s;\n\
+         pass --merge-gap 0 to disable)."
+    );
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("bad seed {s:?}: {e}"))
+    } else {
+        s.parse().map_err(|e| format!("bad seed {s:?}: {e}"))
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let mut config = SimConfig::default();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                config.scale = it
+                    .next()
+                    .ok_or("--scale takes a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            "--seed" => config.seed = parse_seed(it.next().ok_or("--seed takes a value")?)?,
+            "--no-snapshots" => config.snapshots = false,
+            "--out" => out = Some(it.next().ok_or("--out takes a value")?.clone()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let out = out.ok_or("generate requires --out FILE")?;
+    eprintln!(
+        "generating trace (scale {}, seed {:#x})...",
+        config.scale, config.seed
+    );
+    let trace = generate(&config);
+    let bytes = codec::encode(&trace.dataset);
+    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} attacks, {} bots, {} KiB",
+        trace.dataset.len(),
+        trace.dataset.bots().len(),
+        bytes.len() / 1024
+    );
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    codec::decode(&bytes).map_err(|e| format!("decoding {path}: {e}"))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze requires a trace file")?;
+    let json = args.iter().any(|a| a == "--json");
+    let ds = load(path)?;
+    let report = AnalysisReport::run(&ds);
+    if json {
+        let body = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serializing report: {e}"))?;
+        println!("{body}");
+        return Ok(());
+    }
+    let m = report.summary.measured;
+    println!("== {path} ==");
+    println!(
+        "{} attacks | {} bot IPs in {} countries | {} victims in {} countries",
+        m.attacks, m.attackers.ips, m.attackers.countries, m.victims.ips, m.victims.countries
+    );
+    if let Some(d) = &report.durations {
+        println!(
+            "durations: mean {:.0}s median {:.0}s p80 {:.0}s",
+            d.mean, d.median, d.p80
+        );
+    }
+    if let Some((day, peak)) = report.daily.peak() {
+        println!(
+            "daily: mean {:.1}, peak {} on {}",
+            report.daily.mean_per_day(),
+            peak,
+            report.daily.date_of(day)
+        );
+    }
+    println!("top victim countries:");
+    for (cc, n) in &report.overall_targets {
+        println!("  {cc}: {n}");
+    }
+    println!("prediction (Table IV):");
+    for row in &report.prediction.rows {
+        println!(
+            "  {}: cosine {:.3}",
+            row.family, row.forecast.eval.cosine
+        );
+    }
+    println!(
+        "collaborations: {} pairs, {} events; {} chains (longest {})",
+        report.collaborations.pairs.len(),
+        report.collaborations.events.len(),
+        report.multistage.chains.len(),
+        report.multistage.longest().map_or(0, |c| c.len())
+    );
+    if let Some(mean) = report.blacklist.mean_coverage() {
+        println!("blacklist warm-up coverage: {mean:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_export_csv(args: &[String]) -> Result<(), String> {
+    let [path, out] = args else {
+        return Err("export-csv requires IN.ddtl OUT.csv".into());
+    };
+    let ds = load(path)?;
+    let body = csv::attacks_to_csv(ds.attacks());
+    std::fs::write(out, &body).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}: {} attack rows", ds.len());
+    Ok(())
+}
+
+fn cmd_import_csv(args: &[String]) -> Result<(), String> {
+    let (paths, flags): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| !a.starts_with("--"));
+    let [input, output] = paths[..] else {
+        return Err("import-csv requires IN.csv OUT.ddtl".into());
+    };
+    let mut merge_gap = Seconds(ddos_analytics::preprocess::MERGE_GAP_S);
+    for flag in flags.iter() {
+        match flag.as_str() {
+            "--merge-gap" => {
+                return Err("--merge-gap takes a value: use --merge-gap=SECONDS".into());
+            }
+            other if other.starts_with("--merge-gap=") => {
+                let v = other.trim_start_matches("--merge-gap=");
+                merge_gap = Seconds(v.parse().map_err(|e| format!("bad gap: {e}"))?);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let mut records = csv::attacks_from_csv(&text).map_err(|e| e.to_string())?;
+    let raw = records.len();
+    if merge_gap.get() > 0 {
+        records = ddos_analytics::preprocess::merge_attack_records(records, merge_gap);
+    }
+    let (start, end) = records
+        .iter()
+        .fold((i64::MAX, i64::MIN), |(s, e), a| {
+            (s.min(a.start.unix()), e.max(a.end.unix() + 1))
+        });
+    let window = if records.is_empty() {
+        Window::PAPER
+    } else {
+        Window::new(ddos_schema::Timestamp(start), ddos_schema::Timestamp(end))
+            .map_err(|e| e.to_string())?
+    };
+    let mut builder = DatasetBuilder::new(window);
+    let merged = records.len();
+    builder.extend_attacks(records).map_err(|e| e.to_string())?;
+    let ds = builder.build().map_err(|e| e.to_string())?;
+    let bytes = codec::encode(&ds);
+    std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "imported {raw} rows -> {merged} attacks (merge gap {}s); wrote {output}",
+        merge_gap.get()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("info requires a trace file")?;
+    let ds = load(path)?;
+    let s = ds.summary();
+    println!("{path}:");
+    println!("  window     {} -> {}", ds.window().start, ds.window().end);
+    println!("  attacks    {}", s.attacks);
+    println!("  botnets    {} attacking / {} recorded", s.botnets, ds.botnets().len());
+    println!(
+        "  attackers  {} IPs, {} cities, {} countries, {} orgs, {} ASNs",
+        s.attackers.ips, s.attackers.cities, s.attackers.countries,
+        s.attackers.organizations, s.attackers.asns
+    );
+    println!(
+        "  victims    {} IPs, {} cities, {} countries, {} orgs, {} ASNs",
+        s.victims.ips, s.victims.cities, s.victims.countries,
+        s.victims.organizations, s.victims.asns
+    );
+    println!("  snapshots  {} families", ds.snapshot_families().count());
+    Ok(())
+}

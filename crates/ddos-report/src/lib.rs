@@ -1,0 +1,25 @@
+//! Rendering of the paper's tables and figure series.
+//!
+//! `ddos-analytics` produces structured results; this crate turns them
+//! into the artifacts a human compares against the paper:
+//!
+//! * [`table`] — monospace tables (the paper's Tables II–VI);
+//! * [`series`] — plot-ready data series (TSV / gnuplot style) for every
+//!   figure;
+//! * [`experiments`] — the registry mapping experiment ids (`t2`…`t6`,
+//!   `f1`…`f18`) to render functions, used by the `repro` binary and the
+//!   benches;
+//! * [`compare`] — paper-vs-measured comparison rows for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod experiments;
+pub mod series;
+pub mod table;
+
+pub use compare::{paper_comparisons, Comparison};
+pub use experiments::{render, Experiment, EXPERIMENTS};
+pub use series::Series;
+pub use table::Table;

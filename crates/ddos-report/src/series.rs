@@ -1,0 +1,122 @@
+//! Plot-ready data series.
+//!
+//! Every paper figure is reduced to one or more named series of `(x, y)`
+//! points, rendered as tab-separated values that gnuplot, matplotlib, or
+//! a spreadsheet ingest directly.
+
+use std::fmt::Write as _;
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series name (becomes the column header).
+    pub name: String,
+    /// `(x, y)` points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from points.
+    pub fn new<S: Into<String>>(name: S, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Creates a series from y values indexed 0, 1, 2, …
+    pub fn from_values<S: Into<String>>(name: S, values: &[f64]) -> Series {
+        Series {
+            name: name.into(),
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64, v))
+                .collect(),
+        }
+    }
+
+    /// Downsamples to at most `max` points (uniform stride), preserving
+    /// the final point — keeps `repro` output readable for long series.
+    pub fn downsample(mut self, max: usize) -> Series {
+        if max == 0 || self.points.len() <= max {
+            return self;
+        }
+        let stride = self.points.len().div_ceil(max);
+        let last = *self.points.last().expect("non-empty");
+        self.points = self
+            .points
+            .iter()
+            .copied()
+            .step_by(stride)
+            .collect();
+        if self.points.last() != Some(&last) {
+            self.points.push(last);
+        }
+        self
+    }
+
+    /// Renders one series as two TSV columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# x\t{}", self.name);
+        for &(x, y) in &self.points {
+            let _ = writeln!(out, "{x}\t{y}");
+        }
+        out
+    }
+}
+
+/// Renders several series side by side (shared x per row is NOT assumed;
+/// each series is emitted as its own block, gnuplot `index` style).
+pub fn render_blocks(series: &[Series]) -> String {
+    let mut out = String::new();
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&s.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_tsv() {
+        let s = Series::new("cdf", vec![(1.0, 0.5), (2.0, 1.0)]);
+        let out = s.render();
+        assert!(out.starts_with("# x\tcdf\n"));
+        assert!(out.contains("1\t0.5"));
+        assert!(out.contains("2\t1"));
+    }
+
+    #[test]
+    fn from_values_indexes() {
+        let s = Series::from_values("v", &[10.0, 20.0]);
+        assert_eq!(s.points, vec![(0.0, 10.0), (1.0, 20.0)]);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let s = Series::from_values("v", &(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let d = s.downsample(10);
+        assert!(d.points.len() <= 11);
+        assert_eq!(d.points.first(), Some(&(0.0, 0.0)));
+        assert_eq!(d.points.last(), Some(&(99.0, 99.0)));
+        // No-ops.
+        let tiny = Series::from_values("v", &[1.0]).downsample(10);
+        assert_eq!(tiny.points.len(), 1);
+    }
+
+    #[test]
+    fn blocks_are_separated() {
+        let a = Series::new("a", vec![(0.0, 0.0)]);
+        let b = Series::new("b", vec![(1.0, 1.0)]);
+        let out = render_blocks(&[a, b]);
+        assert_eq!(out.matches("# x").count(), 2);
+        assert!(out.contains("\n\n"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Monospace table rendering.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Table {
+        let mut row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        row.resize(self.headers.len().max(row.len()), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let _ = write!(line, " {cell:w$} |", w = w);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<1$}|", "", w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "count"]);
+        t.row(&["alpha", "1"]);
+        t.row(&["b", "12345"]);
+        let out = t.render();
+        assert!(out.contains("## Demo"));
+        let lines: Vec<&str> = out.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        // All body lines have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert!(out.contains("| alpha | 1     |"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new("", &["a", "b", "c"]);
+        t.row(&["x"]);
+        let out = t.render();
+        assert!(!out.contains("## "));
+        assert!(out.lines().count() == 3);
+    }
+
+    #[test]
+    fn mixed_types_via_to_string() {
+        let mut t = Table::new("t", &["k", "v"]);
+        t.row(&[format!("{}", 1), format!("{:.2}", 2.5)]);
+        assert!(t.render().contains("2.50"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Plain-text (CSV) interchange for the `DDoSattack` schema.
+//!
+//! The binary `DDTL` format is for fast round trips of generated traces;
+//! this module is the path for getting *external* data in and out — a
+//! CSV with one attack per row, columns mirroring Table I. A real feed
+//! exported to this layout drops straight into every analysis.
+//!
+//! Layout (header required, comma-separated, no quoting — all fields are
+//! numeric or enumerated):
+//!
+//! ```text
+//! ddos_id,botnet_id,family,category,target_ip,timestamp,end_time,asn,cc,city,org,latitude,longitude,botnet_ips
+//! 17,42,dirtjumper,HTTP,198.51.100.7,1346203800,1346208900,64512,RU,31,77,55.7558,37.6173,203.0.113.5 203.0.113.9
+//! ```
+//!
+//! `botnet_ips` is space-separated (the one list-valued field).
+
+use std::fmt::Write as _;
+
+use crate::error::SchemaError;
+use crate::record::{AttackRecord, Location};
+use crate::{Asn, BotnetId, CityId, DdosId, Family, IpAddr4, LatLon, OrgId, Protocol, Timestamp};
+
+/// The header row this module writes and requires on input.
+pub const HEADER: &str = "ddos_id,botnet_id,family,category,target_ip,timestamp,end_time,\
+                          asn,cc,city,org,latitude,longitude,botnet_ips";
+
+/// Serializes attack records to CSV (with header).
+pub fn attacks_to_csv<'a, I>(attacks: I) -> String
+where
+    I: IntoIterator<Item = &'a AttackRecord>,
+{
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for a in attacks {
+        let sources: Vec<String> = a.sources.iter().map(|ip| ip.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            a.id.value(),
+            a.botnet.value(),
+            a.family.name(),
+            a.category.name(),
+            a.target_ip,
+            a.start.unix(),
+            a.end.unix(),
+            a.target.asn.value(),
+            a.target.country,
+            a.target.city.value(),
+            a.target.org.value(),
+            a.target.coords.lat,
+            a.target.coords.lon,
+            sources.join(" "),
+        );
+    }
+    out
+}
+
+/// Parses attack records from CSV produced by [`attacks_to_csv`] (or an
+/// external export in the same layout). Blank lines and `#` comments are
+/// skipped; every data row is fully validated.
+pub fn attacks_from_csv(text: &str) -> Result<Vec<AttackRecord>, SchemaError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines
+        .next()
+        .ok_or_else(|| SchemaError::Codec("empty CSV input".into()))?;
+    if normalize_header(header) != normalize_header(HEADER) {
+        return Err(SchemaError::Codec(format!(
+            "unexpected CSV header {header:?}"
+        )));
+    }
+    let mut out = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let row: Vec<&str> = line.split(',').collect();
+        if row.len() != 14 {
+            return Err(SchemaError::Codec(format!(
+                "line {}: expected 14 columns, found {}",
+                lineno + 2,
+                row.len()
+            )));
+        }
+        let attack = parse_row(&row)
+            .map_err(|e| SchemaError::Codec(format!("line {}: {e}", lineno + 2)))?;
+        attack.validate()?;
+        out.push(attack);
+    }
+    Ok(out)
+}
+
+fn normalize_header(h: &str) -> String {
+    h.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+fn parse_row(row: &[&str]) -> Result<AttackRecord, SchemaError> {
+    let num = |field: &'static str, s: &str| -> Result<i64, SchemaError> {
+        s.parse().map_err(|_| SchemaError::parse(field, s))
+    };
+    let fnum = |field: &'static str, s: &str| -> Result<f64, SchemaError> {
+        s.parse().map_err(|_| SchemaError::parse(field, s))
+    };
+    let sources = row[13]
+        .split_whitespace()
+        .map(str::parse)
+        .collect::<Result<Vec<IpAddr4>, _>>()?;
+    Ok(AttackRecord {
+        id: DdosId(num("ddos_id", row[0])? as u64),
+        botnet: BotnetId(num("botnet_id", row[1])? as u32),
+        family: row[2].parse::<Family>()?,
+        category: row[3].parse::<Protocol>()?,
+        target_ip: row[4].parse()?,
+        start: Timestamp(num("timestamp", row[5])?),
+        end: Timestamp(num("end_time", row[6])?),
+        target: Location {
+            asn: Asn(num("asn", row[7])? as u32),
+            country: row[8].parse()?,
+            city: CityId(num("city", row[9])? as u32),
+            org: OrgId(num("org", row[10])? as u32),
+            coords: LatLon::new(fnum("latitude", row[11])?, fnum("longitude", row[12])?)?,
+        },
+        sources,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_fixtures::attack;
+
+    #[test]
+    fn round_trip() {
+        let mut a1 = attack(17, 1_000);
+        a1.sources.push(IpAddr4::from_octets(203, 0, 113, 9));
+        let a2 = attack(18, 5_000);
+        let csv = attacks_to_csv([&a1, &a2]);
+        assert!(csv.starts_with("ddos_id,"));
+        let back = attacks_from_csv(&csv).unwrap();
+        assert_eq!(back, vec![a1, a2]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let a = attack(1, 100);
+        let mut csv = attacks_to_csv([&a]);
+        csv.push_str("\n# trailing comment\n\n");
+        assert_eq!(attacks_from_csv(&csv).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn header_is_required_and_checked() {
+        assert!(attacks_from_csv("").is_err());
+        assert!(attacks_from_csv("a,b,c\n").is_err());
+        // Header with different spacing still accepted.
+        let a = attack(1, 100);
+        let csv = attacks_to_csv([&a]);
+        let spaced = csv.replacen("ddos_id,botnet_id", "ddos_id, botnet_id", 1);
+        assert!(attacks_from_csv(&spaced).is_ok());
+    }
+
+    #[test]
+    fn malformed_rows_carry_line_numbers() {
+        let a = attack(1, 100);
+        let mut csv = attacks_to_csv([&a]);
+        csv.push_str("not,enough,columns\n");
+        let err = attacks_from_csv(&csv).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        let a = attack(1, 100);
+        let csv = attacks_to_csv([&a]);
+        for (from, to) in [
+            ("dirtjumper", "mirai"),
+            ("HTTP", "QUIC"),
+            ("US", "USA"),
+        ] {
+            let bad = csv.replacen(from, to, 1);
+            assert!(attacks_from_csv(&bad).is_err(), "{from}->{to} accepted");
+        }
+    }
+
+    #[test]
+    fn semantic_validation_applies() {
+        // end before start.
+        let a = attack(1, 100); // start 100, end 700
+        let csv = attacks_to_csv([&a]).replace(",700,", ",50,");
+        assert!(attacks_from_csv(&csv).is_err());
+    }
+
+    #[test]
+    fn empty_source_list_rejected() {
+        let a = attack(1, 100);
+        let csv = attacks_to_csv([&a]);
+        // Blank the sources column.
+        let line = csv.lines().nth(1).unwrap();
+        let blanked = format!(
+            "{HEADER}\n{},\n",
+            &line[..line.rfind(',').unwrap()]
+        );
+        assert!(attacks_from_csv(&blanked).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! The 23 botnet malware families tracked by the monitoring feed.
+//!
+//! The paper names the ten *active* families it analyzes in depth
+//! (§III): Aldibot, Blackenergy, Colddeath, Darkshell, Ddoser, Dirtjumper,
+//! Nitol, Optima, Pandora, and YZF. The remaining thirteen families are
+//! logged but mostly dormant; the paper does not name them, so we use
+//! plausible placeholder names drawn from DDoS malware of the same era.
+//! Analyses in `ddos-analytics` only ever consume the active set, exactly
+//! as the paper does.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SchemaError;
+
+/// A botnet malware family.
+///
+/// Variants are ordered with the ten active families first, so
+/// `Family::ACTIVE` is a prefix of [`Family::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum Family {
+    // --- the ten active families analyzed by the paper ---
+    Aldibot,
+    Blackenergy,
+    Colddeath,
+    Darkshell,
+    Ddoser,
+    Dirtjumper,
+    Nitol,
+    Optima,
+    Pandora,
+    Yzf,
+    // --- thirteen mostly-dormant families (placeholder names) ---
+    Armageddon,
+    Athena,
+    Blackrev,
+    Drive,
+    Madness,
+    Tsunami,
+    Warbot,
+    Yoddos,
+    Zemra,
+    Torpig,
+    Pushdo,
+    Virut,
+    Kelihos,
+}
+
+impl Family {
+    /// All 23 tracked families, active first.
+    pub const ALL: [Family; 23] = [
+        Family::Aldibot,
+        Family::Blackenergy,
+        Family::Colddeath,
+        Family::Darkshell,
+        Family::Ddoser,
+        Family::Dirtjumper,
+        Family::Nitol,
+        Family::Optima,
+        Family::Pandora,
+        Family::Yzf,
+        Family::Armageddon,
+        Family::Athena,
+        Family::Blackrev,
+        Family::Drive,
+        Family::Madness,
+        Family::Tsunami,
+        Family::Warbot,
+        Family::Yoddos,
+        Family::Zemra,
+        Family::Torpig,
+        Family::Pushdo,
+        Family::Virut,
+        Family::Kelihos,
+    ];
+
+    /// The ten active families the paper's analyses focus on (§III).
+    pub const ACTIVE: [Family; 10] = [
+        Family::Aldibot,
+        Family::Blackenergy,
+        Family::Colddeath,
+        Family::Darkshell,
+        Family::Ddoser,
+        Family::Dirtjumper,
+        Family::Nitol,
+        Family::Optima,
+        Family::Pandora,
+        Family::Yzf,
+    ];
+
+    /// Whether the paper counts this family among the ten active ones.
+    #[inline]
+    pub fn is_active(self) -> bool {
+        (self as usize) < Self::ACTIVE.len()
+    }
+
+    /// Canonical lowercase name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Aldibot => "aldibot",
+            Family::Blackenergy => "blackenergy",
+            Family::Colddeath => "colddeath",
+            Family::Darkshell => "darkshell",
+            Family::Ddoser => "ddoser",
+            Family::Dirtjumper => "dirtjumper",
+            Family::Nitol => "nitol",
+            Family::Optima => "optima",
+            Family::Pandora => "pandora",
+            Family::Yzf => "yzf",
+            Family::Armageddon => "armageddon",
+            Family::Athena => "athena",
+            Family::Blackrev => "blackrev",
+            Family::Drive => "drive",
+            Family::Madness => "madness",
+            Family::Tsunami => "tsunami",
+            Family::Warbot => "warbot",
+            Family::Yoddos => "yoddos",
+            Family::Zemra => "zemra",
+            Family::Torpig => "torpig",
+            Family::Pushdo => "pushdo",
+            Family::Virut => "virut",
+            Family::Kelihos => "kelihos",
+        }
+    }
+
+    /// Stable dense index into [`Family::ALL`] (0..23), handy for arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The family at the given dense index, if in range.
+    pub fn from_index(index: usize) -> Option<Family> {
+        Self::ALL.get(index).copied()
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Family {
+    type Err = SchemaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|fam| fam.name() == lower)
+            .ok_or_else(|| SchemaError::parse("Family", s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn there_are_23_families_and_10_active() {
+        assert_eq!(Family::ALL.len(), 23);
+        assert_eq!(Family::ACTIVE.len(), 10);
+        assert_eq!(Family::ALL.iter().filter(|f| f.is_active()).count(), 10);
+    }
+
+    #[test]
+    fn active_is_a_prefix_of_all() {
+        assert_eq!(&Family::ALL[..10], &Family::ACTIVE[..]);
+    }
+
+    #[test]
+    fn names_are_unique_and_parse_back() {
+        let mut seen = HashSet::new();
+        for fam in Family::ALL {
+            assert!(seen.insert(fam.name()), "duplicate name {}", fam.name());
+            assert_eq!(fam.name().parse::<Family>().unwrap(), fam);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("DirtJumper".parse::<Family>().unwrap(), Family::Dirtjumper);
+        assert_eq!("BLACKENERGY".parse::<Family>().unwrap(), Family::Blackenergy);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("mirai".parse::<Family>().is_err());
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, fam) in Family::ALL.iter().enumerate() {
+            assert_eq!(fam.index(), i);
+            assert_eq!(Family::from_index(i), Some(*fam));
+        }
+        assert_eq!(Family::from_index(23), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! Plain geolocation *data* types carried inside trace records.
+//!
+//! The schemas store a country code (`cc`), city, organization, ASN, and a
+//! latitude/longitude pair per address (Table I). The geometric semantics
+//! (haversine distances, geographic centers, registries) live in the
+//! `ddos-geo` crate; this module only defines the value types the records
+//! need.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SchemaError;
+
+/// An ISO 3166-1 alpha-2 country code, stored inline as two ASCII bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Builds a code from two ASCII letters; lowercase is normalized.
+    pub fn new(a: u8, b: u8) -> Result<CountryCode, SchemaError> {
+        let (a, b) = (a.to_ascii_uppercase(), b.to_ascii_uppercase());
+        if a.is_ascii_uppercase() && b.is_ascii_uppercase() {
+            Ok(CountryCode([a, b]))
+        } else {
+            Err(SchemaError::OutOfRange {
+                what: "country code",
+                expected: "two ASCII letters",
+            })
+        }
+    }
+
+    /// Builds a code from a static string, panicking on malformed input.
+    ///
+    /// Intended for registry literals: `CountryCode::literal("US")`.
+    pub const fn literal(code: &'static str) -> CountryCode {
+        let bytes = code.as_bytes();
+        assert!(bytes.len() == 2, "country code must be two letters");
+        assert!(
+            bytes[0].is_ascii_uppercase() && bytes[1].is_ascii_uppercase(),
+            "country code must be uppercase ASCII"
+        );
+        CountryCode([bytes[0], bytes[1]])
+    }
+
+    /// The two-letter code as a string slice.
+    pub fn as_str(&self) -> &str {
+        // Invariant: both bytes are ASCII uppercase letters.
+        std::str::from_utf8(&self.0).expect("country code is ASCII")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CountryCode {
+    type Err = SchemaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 2 {
+            return Err(SchemaError::parse("CountryCode", s));
+        }
+        CountryCode::new(bytes[0], bytes[1]).map_err(|_| SchemaError::parse("CountryCode", s))
+    }
+}
+
+impl Serialize for CountryCode {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for CountryCode {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = <&str>::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+/// A latitude/longitude pair in decimal degrees (WGS-84).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees, `-90.0..=90.0` (positive is north).
+    pub lat: f64,
+    /// Longitude in degrees, `-180.0..=180.0` (positive is east).
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate pair, validating the domain.
+    pub fn new(lat: f64, lon: f64) -> Result<LatLon, SchemaError> {
+        if !(-90.0..=90.0).contains(&lat) || !lat.is_finite() {
+            return Err(SchemaError::OutOfRange {
+                what: "latitude",
+                expected: "-90.0..=90.0",
+            });
+        }
+        if !(-180.0..=180.0).contains(&lon) || !lon.is_finite() {
+            return Err(SchemaError::OutOfRange {
+                what: "longitude",
+                expected: "-180.0..=180.0",
+            });
+        }
+        Ok(LatLon { lat, lon })
+    }
+
+    /// Creates a coordinate pair without validation.
+    ///
+    /// For registry literals whose values are known valid at compile time.
+    pub const fn new_unchecked(lat: f64, lon: f64) -> LatLon {
+        LatLon { lat, lon }
+    }
+
+    /// Latitude in radians.
+    #[inline]
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians.
+    #[inline]
+    pub fn lon_rad(&self) -> f64 {
+        self.lon.to_radians()
+    }
+}
+
+impl fmt::Display for LatLon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_code_round_trip() {
+        let us: CountryCode = "US".parse().unwrap();
+        assert_eq!(us.as_str(), "US");
+        assert_eq!(us.to_string(), "US");
+        assert_eq!("us".parse::<CountryCode>().unwrap(), us);
+    }
+
+    #[test]
+    fn country_code_rejects_malformed() {
+        for bad in ["", "U", "USA", "1A", "U "] {
+            assert!(bad.parse::<CountryCode>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn literal_constructor() {
+        const RU: CountryCode = CountryCode::literal("RU");
+        assert_eq!(RU.as_str(), "RU");
+    }
+
+    #[test]
+    fn country_code_serde_as_string() {
+        let json = serde_json::to_string(&CountryCode::literal("DE")).unwrap();
+        assert_eq!(json, "\"DE\"");
+        let back: CountryCode = serde_json::from_str("\"de\"").unwrap();
+        assert_eq!(back.as_str(), "DE");
+    }
+
+    #[test]
+    fn latlon_validates_domain() {
+        assert!(LatLon::new(0.0, 0.0).is_ok());
+        assert!(LatLon::new(90.0, 180.0).is_ok());
+        assert!(LatLon::new(90.1, 0.0).is_err());
+        assert!(LatLon::new(0.0, -180.5).is_err());
+        assert!(LatLon::new(f64::NAN, 0.0).is_err());
+        assert!(LatLon::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn radian_conversion() {
+        let p = LatLon::new(90.0, -180.0).unwrap();
+        assert!((p.lat_rad() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((p.lon_rad() + std::f64::consts::PI).abs() < 1e-12);
+    }
+}

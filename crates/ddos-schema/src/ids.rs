@@ -1,0 +1,133 @@
+//! Newtype identifiers used throughout the trace schemas.
+//!
+//! The feed identifies entities by opaque integers; we keep them as
+//! dedicated newtypes so an attack id can never be confused with a botnet
+//! id at a call site. All ids serialize as bare integers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SchemaError;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn value(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = SchemaError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let digits = s.strip_prefix($prefix).unwrap_or(s);
+                digits
+                    .parse::<$inner>()
+                    .map(Self)
+                    .map_err(|_| SchemaError::parse(stringify!($name), s))
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Globally unique identifier of a single verified DDoS attack
+    /// (`ddos_id` in Table I).
+    DdosId,
+    u64,
+    "ddos-"
+);
+
+define_id!(
+    /// Identifier of a botnet *generation*: a unique (family, binary hash)
+    /// pair (`botnet_id` in Table I). The paper observes 674 of these.
+    BotnetId,
+    u32,
+    "bn-"
+);
+
+define_id!(
+    /// Autonomous system number (`asn` in Table I).
+    Asn,
+    u32,
+    "AS"
+);
+
+define_id!(
+    /// Compact identifier of a city in the geolocation registry.
+    CityId,
+    u32,
+    "city-"
+);
+
+define_id!(
+    /// Compact identifier of an organization in the geolocation registry.
+    OrgId,
+    u32,
+    "org-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let id = DdosId(42);
+        assert_eq!(id.to_string(), "ddos-42");
+        assert_eq!("ddos-42".parse::<DdosId>().unwrap(), id);
+        // Bare integers are accepted too.
+        assert_eq!("42".parse::<DdosId>().unwrap(), id);
+    }
+
+    #[test]
+    fn asn_uses_canonical_prefix() {
+        assert_eq!(Asn(3356).to_string(), "AS3356");
+        assert_eq!("AS3356".parse::<Asn>().unwrap(), Asn(3356));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("bn-xyz".parse::<BotnetId>().is_err());
+        assert!("".parse::<OrgId>().is_err());
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(BotnetId(1) < BotnetId(2));
+        assert!(DdosId(100) > DdosId(99));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&CityId(7)).unwrap();
+        assert_eq!(json, "7");
+        let back: CityId = serde_json::from_str("7").unwrap();
+        assert_eq!(back, CityId(7));
+    }
+}

@@ -1,0 +1,232 @@
+//! IPv4 addresses and prefixes.
+//!
+//! The monitoring feed records bot and target addresses as IPv4 (the trace
+//! predates meaningful IPv6 botnet activity). We use a `u32` newtype rather
+//! than `std::net::Ipv4Addr` because the geolocation substrate needs cheap
+//! ordered range queries over address space, and the simulator needs
+//! arithmetic block allocation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SchemaError;
+
+/// An IPv4 address stored as its 32-bit big-endian integer value.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct IpAddr4(pub u32);
+
+impl IpAddr4 {
+    /// Builds an address from four dotted-quad octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> IpAddr4 {
+        IpAddr4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four dotted-quad octets.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Raw integer value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The address with the low `32 - prefix_len` bits cleared.
+    pub const fn network(self, prefix_len: u8) -> IpAddr4 {
+        IpAddr4(self.0 & Prefix::mask(prefix_len))
+    }
+}
+
+impl fmt::Display for IpAddr4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl FromStr for IpAddr4 {
+    type Err = SchemaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || SchemaError::parse("IpAddr4", s);
+        let mut parts = s.split('.');
+        let mut octets = [0u8; 4];
+        for o in &mut octets {
+            let part = parts.next().ok_or_else(bad)?;
+            if part.is_empty() || part.len() > 3 || (part.len() > 1 && part.starts_with('0')) {
+                return Err(bad());
+            }
+            *o = part.parse().map_err(|_| bad())?;
+        }
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(IpAddr4::from_octets(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// A CIDR prefix, e.g. `203.0.113.0/24`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network address (low bits cleared).
+    pub network: IpAddr4,
+    /// Prefix length in bits, `0..=32`.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Netmask for a prefix length (`const` so it can size tables).
+    pub const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Creates a prefix, clearing host bits; errors if `len > 32`.
+    pub fn new(addr: IpAddr4, len: u8) -> Result<Prefix, SchemaError> {
+        if len > 32 {
+            return Err(SchemaError::OutOfRange {
+                what: "prefix length",
+                expected: "0..=32",
+            });
+        }
+        Ok(Prefix {
+            network: addr.network(len),
+            len,
+        })
+    }
+
+    /// Whether the address falls inside the prefix.
+    #[inline]
+    pub fn contains(&self, addr: IpAddr4) -> bool {
+        addr.0 & Self::mask(self.len) == self.network.0
+    }
+
+    /// First address of the block.
+    #[inline]
+    pub fn first(&self) -> IpAddr4 {
+        self.network
+    }
+
+    /// Last address of the block.
+    #[inline]
+    pub fn last(&self) -> IpAddr4 {
+        IpAddr4(self.network.0 | !Self::mask(self.len))
+    }
+
+    /// Number of addresses in the block (as `u64`; `/0` holds 2^32).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len as u32)
+    }
+
+    /// The `index`-th address of the block, wrapping modulo block size.
+    pub fn nth(&self, index: u64) -> IpAddr4 {
+        IpAddr4(self.network.0.wrapping_add((index % self.size()) as u32))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = SchemaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || SchemaError::parse("Prefix", s);
+        let (addr, len) = s.split_once('/').ok_or_else(bad)?;
+        let addr: IpAddr4 = addr.parse()?;
+        let len: u8 = len.parse().map_err(|_| bad())?;
+        Prefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn octet_round_trip() {
+        let ip = IpAddr4::from_octets(203, 0, 113, 7);
+        assert_eq!(ip.octets(), [203, 0, 113, 7]);
+        assert_eq!(ip.to_string(), "203.0.113.7");
+        assert_eq!("203.0.113.7".parse::<IpAddr4>().unwrap(), ip);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "01.2.3.4", "a.b.c.d"] {
+            assert!(bad.parse::<IpAddr4>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn prefix_contains_its_range() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        assert!(p.contains("10.1.2.0".parse().unwrap()));
+        assert!(p.contains("10.1.2.255".parse().unwrap()));
+        assert!(!p.contains("10.1.3.0".parse().unwrap()));
+        assert_eq!(p.size(), 256);
+        assert_eq!(p.first().to_string(), "10.1.2.0");
+        assert_eq!(p.last().to_string(), "10.1.2.255");
+    }
+
+    #[test]
+    fn prefix_clears_host_bits() {
+        let p = Prefix::new("10.1.2.77".parse().unwrap(), 24).unwrap();
+        assert_eq!(p.network.to_string(), "10.1.2.0");
+        assert!(Prefix::new(IpAddr4(0), 33).is_err());
+    }
+
+    #[test]
+    fn nth_wraps_within_block() {
+        let p: Prefix = "192.168.0.0/30".parse().unwrap();
+        assert_eq!(p.nth(0).to_string(), "192.168.0.0");
+        assert_eq!(p.nth(3).to_string(), "192.168.0.3");
+        assert_eq!(p.nth(4), p.nth(0));
+    }
+
+    #[test]
+    fn zero_prefix_spans_everything() {
+        let p: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert_eq!(p.size(), 1 << 32);
+        assert!(p.contains(IpAddr4(u32::MAX)));
+    }
+
+    proptest! {
+        #[test]
+        fn display_parse_round_trip(v in any::<u32>()) {
+            let ip = IpAddr4(v);
+            let back: IpAddr4 = ip.to_string().parse().unwrap();
+            prop_assert_eq!(back, ip);
+        }
+
+        #[test]
+        fn network_is_idempotent(v in any::<u32>(), len in 0u8..=32) {
+            let ip = IpAddr4(v);
+            prop_assert_eq!(ip.network(len).network(len), ip.network(len));
+        }
+
+        #[test]
+        fn prefix_contains_all_nth(v in any::<u32>(), len in 8u8..=32, i in any::<u64>()) {
+            let p = Prefix::new(IpAddr4(v), len).unwrap();
+            prop_assert!(p.contains(p.nth(i)));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The three record schemas of the monitoring feed (Table I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SchemaError;
+use crate::family::Family;
+use crate::geo::{CountryCode, LatLon};
+use crate::ids::{Asn, BotnetId, CityId, DdosId, OrgId};
+use crate::ip::IpAddr4;
+use crate::protocol::Protocol;
+use crate::time::{Seconds, Timestamp};
+
+/// Geolocation and BGP attribution of a single address.
+///
+/// City and organization are compact registry ids resolved against the
+/// `ddos-geo` database; this keeps a 50k-attack / 300k-bot dataset small.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    /// ISO 3166-1 alpha-2 country of the address (`cc`).
+    pub country: CountryCode,
+    /// City (registry id).
+    pub city: CityId,
+    /// Owning organization (registry id).
+    pub org: OrgId,
+    /// Autonomous system number.
+    pub asn: Asn,
+    /// Coordinates of the address.
+    pub coords: LatLon,
+}
+
+/// One record of the `DDoSattack` schema: a single verified DDoS attack.
+///
+/// `sources` lists the bot IPs observed participating; its length is the
+/// paper's *attack magnitude* (the paper argues spoofing is implausible for
+/// this trace, so IP count is a sound magnitude proxy — §III-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackRecord {
+    /// Globally unique attack identifier (`ddos_id`).
+    pub id: DdosId,
+    /// The botnet generation that launched the attack (`botnet_id`).
+    pub botnet: BotnetId,
+    /// The malware family of that botnet.
+    pub family: Family,
+    /// Transport category of the attack traffic (`category`).
+    pub category: Protocol,
+    /// Victim address (`target_ip`).
+    pub target_ip: IpAddr4,
+    /// Victim geolocation (`cc`, `city`, `latitude`, `longitude`, `asn`).
+    pub target: Location,
+    /// Attack start (`timestamp`).
+    pub start: Timestamp,
+    /// Attack end (`end_time`), never before `start`.
+    pub end: Timestamp,
+    /// Participating bot addresses (`botnet_ip`).
+    pub sources: Vec<IpAddr4>,
+}
+
+impl AttackRecord {
+    /// Attack duration, `end - start`.
+    #[inline]
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+
+    /// Attack magnitude: the number of distinct bot IPs involved.
+    #[inline]
+    pub fn magnitude(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether this record and `other` overlap in time.
+    pub fn overlaps(&self, other: &AttackRecord) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Validates internal consistency (time ordering, non-empty sources).
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.end < self.start {
+            return Err(SchemaError::InvalidRecord(format!(
+                "attack {}: end {} precedes start {}",
+                self.id, self.end, self.start
+            )));
+        }
+        if self.sources.is_empty() {
+            return Err(SchemaError::InvalidRecord(format!(
+                "attack {}: no source addresses",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One record of the `Botlist` schema: an infected host observed in a
+/// botnet, with its GeoIP/BGP attribution and activity span.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BotRecord {
+    /// The bot's address.
+    pub ip: IpAddr4,
+    /// The botnet generation the bot was enrolled in.
+    pub botnet: BotnetId,
+    /// Malware family of that botnet.
+    pub family: Family,
+    /// Geolocation/BGP attribution of the bot.
+    pub location: Location,
+    /// First time the bot was seen active.
+    pub first_seen: Timestamp,
+    /// Last time the bot was seen active (>= `first_seen`).
+    pub last_seen: Timestamp,
+}
+
+impl BotRecord {
+    /// How long the bot stayed observable.
+    #[inline]
+    pub fn lifetime(&self) -> Seconds {
+        self.last_seen - self.first_seen
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.last_seen < self.first_seen {
+            return Err(SchemaError::InvalidRecord(format!(
+                "bot {}: last_seen precedes first_seen",
+                self.ip
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One record of the `Botnetlist` schema: a botnet generation.
+///
+/// Generations of a family are distinguished by the (MD5/SHA-1) hash of the
+/// malware binary; we keep the hash as an opaque 20-byte value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BotnetRecord {
+    /// Unique botnet identifier.
+    pub id: BotnetId,
+    /// Malware family.
+    pub family: Family,
+    /// SHA-1 of the malware binary marking this generation.
+    pub binary_hash: [u8; 20],
+    /// Address of the command-and-control host.
+    pub controller: IpAddr4,
+    /// Number of distinct infected hosts enrolled over the trace.
+    pub enrolled_bots: u32,
+    /// First time the botnet was seen launching or recruiting.
+    pub first_seen: Timestamp,
+    /// Last observed activity.
+    pub last_seen: Timestamp,
+}
+
+impl BotnetRecord {
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.last_seen < self.first_seen {
+            return Err(SchemaError::InvalidRecord(format!(
+                "botnet {}: last_seen precedes first_seen",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+
+    /// A syntactically valid location for tests.
+    pub fn location() -> Location {
+        Location {
+            country: CountryCode::literal("US"),
+            city: CityId(1),
+            org: OrgId(1),
+            asn: Asn(64512),
+            coords: LatLon::new_unchecked(38.0, -77.0),
+        }
+    }
+
+    /// A valid attack record for tests, parameterized by id and start.
+    pub fn attack(id: u64, start: i64) -> AttackRecord {
+        AttackRecord {
+            id: DdosId(id),
+            botnet: BotnetId(7),
+            family: Family::Dirtjumper,
+            category: Protocol::Http,
+            target_ip: IpAddr4::from_octets(198, 51, 100, 1),
+            target: location(),
+            start: Timestamp(start),
+            end: Timestamp(start + 600),
+            sources: vec![IpAddr4::from_octets(203, 0, 113, 5)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::*;
+    use super::*;
+
+    #[test]
+    fn duration_and_magnitude() {
+        let mut a = attack(1, 1_000);
+        a.sources.push(IpAddr4::from_octets(203, 0, 113, 6));
+        assert_eq!(a.duration(), Seconds(600));
+        assert_eq!(a.magnitude(), 2);
+    }
+
+    #[test]
+    fn validate_catches_inverted_times() {
+        let mut a = attack(1, 1_000);
+        a.end = Timestamp(500);
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_empty_sources() {
+        let mut a = attack(1, 1_000);
+        a.sources.clear();
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn zero_length_attack_is_valid() {
+        let mut a = attack(1, 1_000);
+        a.end = a.start;
+        assert!(a.validate().is_ok());
+        assert_eq!(a.duration(), Seconds(0));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = attack(1, 1_000); // [1000, 1600]
+        let b = attack(2, 1_500); // [1500, 2100]
+        let c = attack(3, 2_000); // [2000, 2600]
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        // Touching endpoints count as overlap (closed intervals).
+        let d = attack(4, 1_600);
+        assert!(a.overlaps(&d));
+    }
+
+    #[test]
+    fn bot_record_lifetime() {
+        let b = BotRecord {
+            ip: IpAddr4::from_octets(203, 0, 113, 9),
+            botnet: BotnetId(1),
+            family: Family::Pandora,
+            location: location(),
+            first_seen: Timestamp(100),
+            last_seen: Timestamp(400),
+        };
+        assert_eq!(b.lifetime(), Seconds(300));
+        assert!(b.validate().is_ok());
+        let bad = BotRecord {
+            last_seen: Timestamp(50),
+            ..b
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn botnet_record_validation() {
+        let r = BotnetRecord {
+            id: BotnetId(3),
+            family: Family::Nitol,
+            binary_hash: [0xAB; 20],
+            controller: IpAddr4::from_octets(192, 0, 2, 1),
+            enrolled_bots: 250,
+            first_seen: Timestamp(0),
+            last_seen: Timestamp(10),
+        };
+        assert!(r.validate().is_ok());
+        let bad = BotnetRecord {
+            first_seen: Timestamp(20),
+            ..r
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn attack_serde_round_trip() {
+        let a = attack(9, 5_000);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: AttackRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

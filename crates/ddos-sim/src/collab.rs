@@ -1,0 +1,165 @@
+//! Collaboration and multistage-chain injection planning.
+//!
+//! §V of the paper finds three coordinated behaviours, all injected here:
+//!
+//! * **intra-family concurrent groups** — 2–3 botnet generations of one
+//!   family hitting the same target at (nearly) the same instant with
+//!   equal magnitudes (Fig. 15: "for most bars along the same timestamp,
+//!   they have the same height");
+//! * **inter-family pairs** — two families attacking one target
+//!   simultaneously; a calibrated subset also matches durations within
+//!   30 minutes and therefore passes the Table VI collaboration rule
+//!   (Dirtjumper×Pandora), while the rest only share the start instant
+//!   (§III-B's 956 multi-family concurrent events);
+//! * **consecutive chains** — back-to-back attacks on one target with
+//!   gaps mostly under 10 s (Fig. 17), only ever within one family
+//!   (§V-B), including Ddoser's 22-attack chain of 2012-08-30.
+
+use ddos_stats::Rng;
+
+/// The collaboration detection window on start times (§V: "within a 60
+/// second timeframe").
+pub const START_WINDOW_S: i64 = 60;
+
+/// The collaboration detection window on durations (§V: "duration
+/// difference is within half an hour").
+pub const DURATION_WINDOW_S: i64 = 1_800;
+
+/// Samples the start offset of a collaborating partner attack:
+/// simultaneous for most, within the 60 s window for the rest.
+pub fn partner_start_offset(rng: &mut Rng) -> i64 {
+    if rng.chance(0.85) {
+        0
+    } else {
+        rng.below(START_WINDOW_S as u64) as i64
+    }
+}
+
+/// Samples a partner duration that *passes* the ±30 min rule.
+pub fn matched_duration(base: i64, rng: &mut Rng) -> i64 {
+    let delta = rng.below(2 * (DURATION_WINDOW_S as u64) - 200) as i64 - (DURATION_WINDOW_S - 100);
+    (base + delta).max(10)
+}
+
+/// Samples a partner duration that *fails* the ±30 min rule (for the
+/// simultaneous-start-only events of §III-B).
+pub fn unmatched_duration(base: i64, rng: &mut Rng) -> i64 {
+    let delta = DURATION_WINDOW_S + 300 + rng.below(18_000) as i64;
+    if rng.chance(0.5) || base <= delta + 10 {
+        base + delta
+    } else {
+        base - delta
+    }
+}
+
+/// Samples an intra-family group size (mean ≈ 2.2, matching the paper's
+/// "average number of botnets involved in the collaboration is 2.19").
+pub fn group_size(rng: &mut Rng) -> usize {
+    if rng.chance(0.8) {
+        2
+    } else {
+        3
+    }
+}
+
+/// Samples the gap between two consecutive chain attacks (Fig. 17: ~65%
+/// within 10 s, ~80% within 30 s; the paper's rule allows up to 60 s and
+/// small overlaps).
+pub fn chain_gap(rng: &mut Rng) -> i64 {
+    let u = rng.f64();
+    if u < 0.65 {
+        rng.below(10) as i64
+    } else if u < 0.80 {
+        10 + rng.below(20) as i64
+    } else if u < 0.95 {
+        30 + rng.below(30) as i64
+    } else {
+        // Small overlap ("60 second margin over overlap").
+        -(rng.below(5) as i64)
+    }
+}
+
+/// Duration of one link in a chain: short bursts so a 22-attack chain
+/// spans tens of minutes, like Ddoser's 18-minute chain.
+pub fn chain_link_duration(rng: &mut Rng) -> i64 {
+    20 + rng.below(60) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partner_offsets_stay_in_window() {
+        let mut rng = Rng::new(1);
+        let mut zeros = 0;
+        for _ in 0..2_000 {
+            let off = partner_start_offset(&mut rng);
+            assert!((0..START_WINDOW_S).contains(&off));
+            if off == 0 {
+                zeros += 1;
+            }
+        }
+        assert!(zeros > 1_500, "{zeros} exact-simultaneous");
+    }
+
+    #[test]
+    fn matched_durations_pass_the_rule() {
+        let mut rng = Rng::new(2);
+        for _ in 0..2_000 {
+            let base = 5_083;
+            let d = matched_duration(base, &mut rng);
+            assert!(d > 0);
+            assert!((d - base).abs() <= DURATION_WINDOW_S, "diff {}", d - base);
+        }
+    }
+
+    #[test]
+    fn unmatched_durations_fail_the_rule() {
+        let mut rng = Rng::new(3);
+        for _ in 0..2_000 {
+            let base = 5_083;
+            let d = unmatched_duration(base, &mut rng);
+            assert!(d > 0);
+            assert!((d - base).abs() > DURATION_WINDOW_S, "diff {}", d - base);
+        }
+    }
+
+    #[test]
+    fn group_sizes_average_near_paper() {
+        let mut rng = Rng::new(4);
+        let n = 10_000;
+        let sum: usize = (0..n).map(|_| group_size(&mut rng)).sum();
+        let avg = sum as f64 / n as f64;
+        assert!((avg - 2.2).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn chain_gaps_match_fig_17_shape() {
+        let mut rng = Rng::new(5);
+        let gaps: Vec<i64> = (0..20_000).map(|_| chain_gap(&mut rng)).collect();
+        let frac = |pred: &dyn Fn(i64) -> bool| {
+            gaps.iter().filter(|&&g| pred(g)).count() as f64 / gaps.len() as f64
+        };
+        let under10 = frac(&|g| g < 10);
+        let under30 = frac(&|g| g < 30);
+        assert!(under10 > 0.6, "under 10 s: {under10}");
+        assert!(under30 > 0.75, "under 30 s: {under30}");
+        assert!(gaps.iter().all(|&g| (-5..60).contains(&g)));
+    }
+
+    #[test]
+    fn chain_links_are_short() {
+        let mut rng = Rng::new(6);
+        for _ in 0..1_000 {
+            let d = chain_link_duration(&mut rng);
+            assert!((20..80).contains(&d));
+        }
+        // A 22-link chain spans roughly the paper's 18 minutes.
+        let mut rng = Rng::new(7);
+        let total: i64 = (0..22)
+            .map(|_| chain_link_duration(&mut rng) + chain_gap(&mut rng).max(0))
+            .sum();
+        assert!((600..2_400).contains(&total), "chain span {total} s");
+    }
+}

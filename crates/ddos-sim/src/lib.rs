@@ -1,0 +1,51 @@
+//! Calibrated synthetic botnet DDoS trace generator.
+//!
+//! The paper's dataset — seven months of verified DDoS attacks from a
+//! commercial botnet-monitoring feed — is proprietary and unavailable.
+//! This crate is the substitution mandated by our reproduction plan (see
+//! `DESIGN.md` §1): a generative model of the ten active botnet families,
+//! calibrated to **every number the paper publishes**, that emits the
+//! same record schemas the paper's pipeline consumes.
+//!
+//! What is calibrated (inputs) vs emergent (results) is spelled out per
+//! experiment in `DESIGN.md` §5. Headline calibrations:
+//!
+//! * per-family × per-protocol attack counts exactly as Table II (at
+//!   `scale = 1.0` the 50,704 total is exact);
+//! * per-family activity windows (Blackenergy active ~⅓ of the period,
+//!   Dirtjumper always on, Darkshell/Nitol bursty — §III-A, Table IV's
+//!   exclusions);
+//! * inter-attack interval mixtures (concurrent mass + the 6–7 min /
+//!   20–40 min / 2–3 h modes of Fig. 4 + a Pareto tail for the 59-day
+//!   outlier);
+//! * log-normal durations (median ≈ 1,766 s, heavy tail — Figs. 6–7);
+//! * target-country preferences per family (Table V), with Zipf reuse of
+//!   a bounded per-family target pool;
+//! * per-family **source city rosters** that evolve slowly week to week
+//!   (Fig. 8's shift patterns) and control the dispersion series the
+//!   ARIMA prediction consumes (Figs. 9–13, Table IV);
+//! * collaboration injection: intra-family concurrent groups,
+//!   Dirtjumper×Pandora long-term pairing, and the multistage consecutive
+//!   chains of §V-B (including Ddoser's 22-attack chain on 2012-08-30);
+//! * the 2012-08-30 Dirtjumper spike against one Russian subnet
+//!   (983-attack peak day, §III-A).
+//!
+//! Everything is deterministic given [`SimConfig::seed`]; per-family
+//! generation runs in parallel on `crossbeam` scoped threads with forked
+//! RNG streams, so adding a family never perturbs another's randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod collab;
+pub mod config;
+pub mod feed;
+pub mod generator;
+pub mod profile;
+pub mod roster;
+pub mod schedule;
+
+pub use config::SimConfig;
+pub use generator::{generate, GeneratedTrace};
+pub use profile::FamilyProfile;

@@ -1,0 +1,435 @@
+//! Weekly source rosters and the attack-source sampler.
+//!
+//! Two paper behaviours live here:
+//!
+//! * **Shift patterns (Fig. 8)** — each family's bot population sits in a
+//!   roster of cities drawn from its home countries; week over week the
+//!   roster mostly persists (shifts within existing countries, the big
+//!   left bars) and only occasionally recruits a city in a *new* country
+//!   (the small right bars).
+//! * **Dispersion structure (Figs. 9–13)** — attack sources are drawn
+//!   either from a single city (at city-level geolocation resolution the
+//!   population is then exactly symmetric: dispersion 0) or from a slowly
+//!   changing mix of 2–4 cities. Because the mix persists across many
+//!   attacks and shifts rarely, the per-attack dispersion series is
+//!   strongly autocorrelated — which is precisely what makes the paper's
+//!   ARIMA forecasts accurate for stable families (Table IV).
+
+use std::collections::HashSet;
+
+use ddos_geo::GeoDb;
+use ddos_schema::{CityId, CountryCode, IpAddr4};
+use ddos_stats::Rng;
+
+use crate::profile::FamilyProfile;
+
+/// One week of a family's source roster.
+#[derive(Debug, Clone)]
+pub struct WeekState {
+    /// Cities hosting bots this week.
+    pub cities: Vec<CityId>,
+    /// Cities (subset of `cities`) whose *country* was first seen this
+    /// week — Fig. 8's "new countries" cluster.
+    pub new_country_cities: Vec<CityId>,
+}
+
+/// A family's roster over all weeks of the window.
+#[derive(Debug, Clone)]
+pub struct Roster {
+    weeks: Vec<WeekState>,
+    /// Bots available per city (indices into the deterministic per-city
+    /// IP streams).
+    pub pool_per_city: u64,
+}
+
+impl Roster {
+    /// Builds the weekly roster for a family.
+    pub fn build(profile: &FamilyProfile, geo: &GeoDb, num_weeks: usize, rng: &mut Rng) -> Roster {
+        let home = profile.home_cities(geo);
+        assert!(!home.is_empty(), "family without home cities");
+        let pool_per_city = (u64::from(profile.bot_pool) / home.len() as u64).max(50);
+
+        let mut seen_countries: HashSet<CountryCode> =
+            home.iter().map(|&c| geo.city(c).expect("home city").country).collect();
+        // Start with most of the home roster active.
+        let mut current: Vec<CityId> = home.clone();
+        let mut weeks = Vec::with_capacity(num_weeks);
+        for _ in 0..num_weeks {
+            let mut new_country_cities = Vec::new();
+            // Churn: occasionally drop and re-add a home city (intra-
+            // country shift; population keeps moving inside the same
+            // footprint).
+            if current.len() > 2 && rng.chance(0.3) {
+                let i = rng.below(current.len() as u64) as usize;
+                current.remove(i);
+            }
+            if current.len() < home.len() && rng.chance(0.5) {
+                let missing: Vec<CityId> = home
+                    .iter()
+                    .copied()
+                    .filter(|c| !current.contains(c))
+                    .collect();
+                if !missing.is_empty() {
+                    current.push(*rng.choose(&missing));
+                }
+            }
+            // Rare new-country recruitment.
+            if rng.chance(profile.cal.new_country_prob) {
+                if let Some(city) = pick_new_country_city(geo, &seen_countries, rng) {
+                    seen_countries.insert(geo.city(city).expect("picked city").country);
+                    current.push(city);
+                    new_country_cities.push(city);
+                }
+            }
+            weeks.push(WeekState {
+                cities: current.clone(),
+                new_country_cities,
+            });
+        }
+        Roster {
+            weeks,
+            pool_per_city,
+        }
+    }
+
+    /// The roster for a week (clamped to the last built week).
+    pub fn week(&self, w: usize) -> &WeekState {
+        &self.weeks[w.min(self.weeks.len() - 1)]
+    }
+
+    /// Number of weeks built.
+    pub fn num_weeks(&self) -> usize {
+        self.weeks.len()
+    }
+}
+
+/// Scores a city mix's dispersion geometry: the signed-sum value of a
+/// reference population (eight bots in the primary, one per stray city)
+/// relative to the mean stray distance. Near zero means the mix cancels.
+fn mix_quality(geo: &GeoDb, primary: CityId, secondary: &[CityId]) -> f64 {
+    let Some(p) = geo.city(primary) else { return 0.0 };
+    let mut pts: Vec<ddos_schema::LatLon> = vec![p.coords; 8];
+    let mut dist_sum = 0.0;
+    for &c in secondary {
+        let Some(ci) = geo.city(c) else { continue };
+        pts.push(ci.coords);
+        dist_sum += ddos_geo::distance_km(p.coords, ci.coords);
+    }
+    if pts.len() <= 8 || dist_sum <= 0.0 {
+        return 0.0;
+    }
+    let mean_dist = dist_sum / secondary.len() as f64;
+    match ddos_geo::dispersion(&pts) {
+        Some(d) => d.value() / mean_dist.max(1.0),
+        None => 0.0,
+    }
+}
+
+fn pick_new_country_city(
+    geo: &GeoDb,
+    seen: &HashSet<CountryCode>,
+    rng: &mut Rng,
+) -> Option<CityId> {
+    // A few tries at random registry countries not seen yet.
+    for _ in 0..8 {
+        let info = &ddos_geo::COUNTRIES[rng.below(ddos_geo::COUNTRIES.len() as u64) as usize];
+        if seen.contains(&info.code) {
+            continue;
+        }
+        let cities = geo.cities_in(info.code);
+        if !cities.is_empty() {
+            return Some(rng.choose(cities).id);
+        }
+    }
+    None
+}
+
+/// Stateful per-family source sampler.
+///
+/// Holds the current city mix; the mix shifts with the calibrated
+/// per-attack probability, giving the dispersion series its
+/// piecewise-stationary structure.
+#[derive(Debug)]
+pub struct SourceSampler {
+    primary: CityId,
+    secondary: Vec<CityId>,
+    salt: u64,
+}
+
+impl SourceSampler {
+    /// Creates a sampler positioned on an initial mix from week 0.
+    pub fn new(
+        profile: &FamilyProfile,
+        roster: &Roster,
+        geo: &GeoDb,
+        rng: &mut Rng,
+    ) -> SourceSampler {
+        let week0 = roster.week(0);
+        let primary = *rng.choose(&week0.cities);
+        let mut s = SourceSampler {
+            primary,
+            secondary: Vec::new(),
+            salt: rng.next_u64(),
+        };
+        s.reshuffle_secondary(profile, week0, geo, rng);
+        s
+    }
+
+    fn reshuffle_secondary(
+        &mut self,
+        profile: &FamilyProfile,
+        week: &WeekState,
+        geo: &GeoDb,
+        rng: &mut Rng,
+    ) {
+        // Aim for two secondaries: the dispersion metric cancels exactly
+        // on collinear (two-city) populations, so asymmetric snapshots
+        // need a non-collinear third point. Prefer cities in a country
+        // other than the primary's — this pins the dispersion scale to
+        // the family's inter-country geography (regional for Pandora,
+        // intercontinental for Blackenergy) rather than to the luck of a
+        // same-country draw.
+        let want = (profile.cal.max_cities - 1).max(3);
+        let primary_cc = geo.city(self.primary).map(|c| c.country);
+        // Draw candidate mixes, preferring foreign cities, and keep the
+        // first whose geometry does not cancel: a mix whose strays sit
+        // east-west symmetric around the primary scores ~0 under the
+        // signed metric regardless of distance, which would make the
+        // family's dispersion level collapse for the whole regime.
+        let mut best: (f64, Vec<CityId>) = (-1.0, Vec::new());
+        for round in 0..6 {
+            let mut candidate: Vec<CityId> = Vec::with_capacity(want);
+            for attempt in 0..want * 8 {
+                if candidate.len() >= want {
+                    break;
+                }
+                let c = *rng.choose(&week.cities);
+                let country_ok = if profile.cal.foreign_strays {
+                    geo.city(c).map(|ci| Some(ci.country) != primary_cc).unwrap_or(true)
+                } else {
+                    geo.city(c).map(|ci| Some(ci.country) == primary_cc).unwrap_or(false)
+                };
+                if c != self.primary
+                    && !candidate.contains(&c)
+                    && (country_ok || attempt >= want * 4)
+                {
+                    candidate.push(c);
+                }
+            }
+            if candidate.is_empty() {
+                continue;
+            }
+            let q = mix_quality(geo, self.primary, &candidate);
+            if q > best.0 {
+                best = (q, candidate);
+            }
+            if best.0 > 0.25 && round >= 1 {
+                break;
+            }
+        }
+        self.secondary = best.1;
+    }
+
+    /// Draws the source IPs of one attack.
+    ///
+    /// With the calibrated single-city probability all sources come from
+    /// the primary city (symmetric snapshot); otherwise ~65% come from
+    /// the primary and the rest from the current secondary mix.
+    pub fn sources(
+        &mut self,
+        profile: &FamilyProfile,
+        roster: &Roster,
+        geo: &GeoDb,
+        week: usize,
+        magnitude: usize,
+        rng: &mut Rng,
+    ) -> Vec<IpAddr4> {
+        let week_state = roster.week(week);
+        // Keep the mix anchored to cities that are still on the roster.
+        if !week_state.cities.contains(&self.primary) {
+            self.primary = *rng.choose(&week_state.cities);
+            self.reshuffle_secondary(profile, week_state, geo, rng);
+        } else if rng.chance(profile.cal.city_shift_prob) {
+            self.reshuffle_secondary(profile, week_state, geo, rng);
+            // Primary shifts five times less often than the secondary mix.
+            if rng.chance(0.2) {
+                self.primary = *rng.choose(&week_state.cities);
+            }
+        }
+
+        let single = rng.chance(profile.cal.p_single_city) || self.secondary.is_empty();
+        let mut out = Vec::with_capacity(magnitude);
+        if single {
+            for _ in 0..magnitude {
+                out.push(self.draw_bot(geo, roster, self.primary, rng));
+            }
+        } else {
+            // A small stray contingent from the secondary cities; the
+            // bulk stays in the primary. The stray count follows the
+            // magnitude level, so the dispersion series inherits the
+            // magnitude process's persistence.
+            // At least two strays: a single stray city is collinear with
+            // the primary and cancels exactly under the signed metric.
+            let strays = (((magnitude as f64) * profile.cal.stray_share).round() as usize)
+                .clamp(3, magnitude.saturating_sub(2).max(3));
+            let n_primary = magnitude - strays;
+            for _ in 0..n_primary {
+                out.push(self.draw_bot(geo, roster, self.primary, rng));
+            }
+            for i in 0..strays {
+                let c = self.secondary[i % self.secondary.len()];
+                out.push(self.draw_bot(geo, roster, c, rng));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Samples `n` roster bots for a population snapshot.
+    pub fn snapshot_sample(
+        &self,
+        roster: &Roster,
+        geo: &GeoDb,
+        week: usize,
+        n: usize,
+        rng: &mut Rng,
+    ) -> Vec<IpAddr4> {
+        let week_state = roster.week(week);
+        (0..n)
+            .map(|_| {
+                let c = *rng.choose(&week_state.cities);
+                self.draw_bot(geo, roster, c, rng)
+            })
+            .collect()
+    }
+
+    fn draw_bot(&self, geo: &GeoDb, roster: &Roster, city: CityId, rng: &mut Rng) -> IpAddr4 {
+        let k = rng.below(roster.pool_per_city) ^ self.salt.wrapping_mul(u64::from(city.0) | 1);
+        geo.ip_in_city(city, k)
+            .expect("roster cities always have allocated space")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::calibration_for;
+    use crate::config::SimConfig;
+    use ddos_geo::GeoConfig;
+    use ddos_schema::Family;
+
+    fn setup(family: Family) -> (GeoDb, FamilyProfile, Roster) {
+        let geo = GeoDb::synthesize(&GeoConfig {
+            city_scale: 2.0,
+            max_cities_per_country: 20,
+            ..GeoConfig::default()
+        });
+        let config = SimConfig::small();
+        let mut rng = Rng::new(3).fork(family.index() as u64);
+        let profile = FamilyProfile::resolve(calibration_for(family).unwrap(), &config, &mut rng);
+        let roster = Roster::build(&profile, &geo, 30, &mut rng);
+        (geo, profile, roster)
+    }
+
+    #[test]
+    fn roster_covers_all_weeks() {
+        let (_, _, roster) = setup(Family::Dirtjumper);
+        assert_eq!(roster.num_weeks(), 30);
+        for w in 0..30 {
+            assert!(!roster.week(w).cities.is_empty());
+        }
+        // Clamping: asking past the end returns the last week.
+        assert_eq!(roster.week(999).cities, roster.week(29).cities);
+    }
+
+    #[test]
+    fn roster_stays_in_home_countries_mostly() {
+        let (geo, profile, roster) = setup(Family::Pandora);
+        let home: HashSet<CountryCode> =
+            profile.home_countries.iter().map(|&(c, _)| c).collect();
+        let mut in_home = 0;
+        let mut total = 0;
+        for w in 0..roster.num_weeks() {
+            for &c in &roster.week(w).cities {
+                total += 1;
+                if home.contains(&geo.city(c).unwrap().country) {
+                    in_home += 1;
+                }
+            }
+        }
+        assert!(
+            in_home as f64 / total as f64 > 0.8,
+            "{in_home}/{total} in home countries"
+        );
+    }
+
+    #[test]
+    fn new_country_weeks_are_rare() {
+        let (_, _, roster) = setup(Family::Dirtjumper);
+        let new_weeks = (0..roster.num_weeks())
+            .filter(|&w| !roster.week(w).new_country_cities.is_empty())
+            .count();
+        assert!(new_weeks <= roster.num_weeks() / 2, "{new_weeks} new-country weeks");
+    }
+
+    #[test]
+    fn single_city_attacks_have_one_location() {
+        let (geo, profile, roster) = setup(Family::Blackenergy);
+        let mut rng = Rng::new(9);
+        let mut sampler = SourceSampler::new(&profile, &roster, &geo, &mut rng);
+        // Blackenergy p_single = 0.895: most draws must be single-city.
+        let mut single = 0;
+        for _ in 0..200 {
+            let ips = sampler.sources(&profile, &roster, &geo, 0, 30, &mut rng);
+            let cities: HashSet<_> = ips
+                .iter()
+                .map(|&ip| geo.lookup(ip).unwrap().city)
+                .collect();
+            if cities.len() == 1 {
+                single += 1;
+            }
+        }
+        assert!(single > 150, "only {single}/200 single-city");
+    }
+
+    #[test]
+    fn multi_city_family_spans_cities() {
+        let (geo, profile, roster) = setup(Family::Dirtjumper);
+        let mut rng = Rng::new(10);
+        let mut sampler = SourceSampler::new(&profile, &roster, &geo, &mut rng);
+        let mut multi = 0;
+        for _ in 0..200 {
+            let ips = sampler.sources(&profile, &roster, &geo, 3, 40, &mut rng);
+            let cities: HashSet<_> = ips
+                .iter()
+                .map(|&ip| geo.lookup(ip).unwrap().city)
+                .collect();
+            if cities.len() > 1 {
+                multi += 1;
+            }
+        }
+        // Dirtjumper p_single = 0.45 → roughly half multi-city.
+        assert!((60..=160).contains(&multi), "{multi}/200 multi-city");
+    }
+
+    #[test]
+    fn sources_are_deduplicated() {
+        let (geo, profile, roster) = setup(Family::Yzf);
+        let mut rng = Rng::new(11);
+        let mut sampler = SourceSampler::new(&profile, &roster, &geo, &mut rng);
+        let ips = sampler.sources(&profile, &roster, &geo, 0, 50, &mut rng);
+        let set: HashSet<_> = ips.iter().collect();
+        assert_eq!(set.len(), ips.len());
+        assert!(!ips.is_empty());
+    }
+
+    #[test]
+    fn snapshot_sample_sizes() {
+        let (geo, profile, roster) = setup(Family::Optima);
+        let mut rng = Rng::new(12);
+        let sampler = SourceSampler::new(&profile, &roster, &geo, &mut rng);
+        let ips = sampler.snapshot_sample(&roster, &geo, 2, 25, &mut rng);
+        assert_eq!(ips.len(), 25);
+    }
+}

@@ -1,0 +1,189 @@
+//! Distribution fitting and goodness-of-fit.
+//!
+//! §III of the paper describes durations and intervals qualitatively
+//! ("two extremes", "wide-spread"); this module makes those statements
+//! testable: maximum-likelihood log-normal fits and the
+//! Kolmogorov–Smirnov statistic with its asymptotic p-value.
+
+use crate::dist::LogNormal;
+use crate::ecdf::Ecdf;
+
+/// Maximum-likelihood log-normal fit: `mu`/`sigma` are the mean and
+/// (population) standard deviation of the logs.
+///
+/// Returns `None` when fewer than two positive observations exist.
+pub fn fit_lognormal(xs: &[f64]) -> Option<LogNormal> {
+    let logs: Vec<f64> = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let mu = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|l| (l - mu).powi(2)).sum::<f64>() / n;
+    Some(LogNormal::new(mu, var.sqrt()))
+}
+
+/// CDF of a log-normal at `x`.
+pub fn lognormal_cdf(d: &LogNormal, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if d.sigma == 0.0 {
+        return if x.ln() >= d.mu { 1.0 } else { 0.0 };
+    }
+    standard_normal_cdf((x.ln() - d.mu) / d.sigma)
+}
+
+/// Standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 rational approximation, |error| < 1.5e-7).
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * erfc_as(-z / std::f64::consts::SQRT_2)
+}
+
+fn erfc_as(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    if sign_negative {
+        1.0 + erf
+    } else {
+        1.0 - erf
+    }
+}
+
+/// Result of a one-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: sup |F_n(x) − F(x)|.
+    pub statistic: f64,
+    /// Sample size.
+    pub n: usize,
+    /// Asymptotic p-value (Kolmogorov distribution).
+    pub p_value: f64,
+}
+
+impl KsTest {
+    /// Whether the hypothesized distribution survives at `alpha`.
+    pub fn fits(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// One-sample KS test of `sample` against a theoretical CDF.
+///
+/// Returns `None` for an empty sample.
+pub fn ks_test<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> Option<KsTest> {
+    let ecdf = Ecdf::new(sample)?;
+    let n = ecdf.len();
+    let mut d: f64 = 0.0;
+    for (i, &x) in ecdf.values().iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        // Compare against the ECDF just before and at x.
+        let lo = i as f64 / n as f64;
+        let hi = (i + 1) as f64 / n as f64;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let lambda = (n as f64).sqrt() * d;
+    Some(KsTest {
+        statistic: d,
+        n,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += if k % 2 == 1 { term } else { -term };
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::rng::Rng;
+
+    #[test]
+    fn standard_normal_cdf_reference_points() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+        assert!(standard_normal_cdf(6.0) > 0.999_999);
+        assert!(standard_normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let truth = LogNormal::new(7.0, 1.5);
+        let mut rng = Rng::new(1);
+        let xs: Vec<f64> = (0..30_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_lognormal(&xs).unwrap();
+        assert!((fit.mu - 7.0).abs() < 0.03, "mu {}", fit.mu);
+        assert!((fit.sigma - 1.5).abs() < 0.03, "sigma {}", fit.sigma);
+    }
+
+    #[test]
+    fn lognormal_fit_rejects_degenerate_input() {
+        assert!(fit_lognormal(&[]).is_none());
+        assert!(fit_lognormal(&[5.0]).is_none());
+        assert!(fit_lognormal(&[-1.0, -2.0]).is_none());
+        // Non-positive values are ignored, not fatal.
+        assert!(fit_lognormal(&[-1.0, 2.0, 3.0]).is_some());
+    }
+
+    #[test]
+    fn lognormal_cdf_median() {
+        let d = LogNormal::from_median(1_766.0, 1.2);
+        assert!((lognormal_cdf(&d, 1_766.0) - 0.5).abs() < 1e-6);
+        assert_eq!(lognormal_cdf(&d, 0.0), 0.0);
+        assert!(lognormal_cdf(&d, 1e12) > 0.999);
+    }
+
+    #[test]
+    fn ks_accepts_the_true_distribution() {
+        let truth = LogNormal::new(5.0, 1.0);
+        let mut rng = Rng::new(2);
+        let xs: Vec<f64> = (0..2_000).map(|_| truth.sample(&mut rng)).collect();
+        let test = ks_test(&xs, |x| lognormal_cdf(&truth, x)).unwrap();
+        assert!(test.fits(0.01), "true distribution rejected: {test:?}");
+    }
+
+    #[test]
+    fn ks_rejects_a_wrong_distribution() {
+        let truth = LogNormal::new(5.0, 1.0);
+        let wrong = LogNormal::new(6.0, 0.5);
+        let mut rng = Rng::new(3);
+        let xs: Vec<f64> = (0..2_000).map(|_| truth.sample(&mut rng)).collect();
+        let test = ks_test(&xs, |x| lognormal_cdf(&wrong, x)).unwrap();
+        assert!(!test.fits(0.05), "wrong distribution accepted: {test:?}");
+        assert!(test.p_value < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_points() {
+        // Known critical value: Q(1.358) ≈ 0.05.
+        assert!((kolmogorov_sf(1.358) - 0.05).abs() < 0.003);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn ks_on_empty_sample_is_none() {
+        assert!(ks_test(&[], |_| 0.5).is_none());
+    }
+}

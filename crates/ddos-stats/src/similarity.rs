@@ -1,0 +1,125 @@
+//! Vector similarity measures.
+//!
+//! Table IV of the paper compares ARIMA predictions against ground truth
+//! by **cosine similarity**; Pearson correlation is provided alongside for
+//! the ablation bench.
+
+/// Cosine similarity of two equal-length vectors.
+///
+/// Returns `None` when lengths differ, either vector is empty, or either
+/// has zero norm (similarity undefined).
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return None;
+    }
+    // Clamp against floating-point drift just past ±1.
+    Some((dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Pearson correlation coefficient of two equal-length vectors.
+///
+/// Returns `None` when lengths differ, fewer than two points, or either
+/// vector is constant.
+pub fn pearson_correlation(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some((cov / (va.sqrt() * vb.sqrt())).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_vectors_are_fully_similar() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((cosine_similarity(&v, &v).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&v, &v).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_vectors() {
+        let a = [1.0, 2.0];
+        let b = [-1.0, -2.0];
+        assert!((cosine_similarity(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(cosine_similarity(&a, &b), Some(0.0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(cosine_similarity(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(cosine_similarity(&[], &[]), None);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson_correlation(&[1.0], &[1.0]), None);
+        assert_eq!(pearson_correlation(&[2.0, 2.0], &[1.0, 3.0]), None);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = [3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|x| x * 17.0).collect();
+        assert!((cosine_similarity(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_linear_relation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson_correlation(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((pearson_correlation(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_in_unit_range(a in proptest::collection::vec(-100.0f64..100.0, 2..30),
+                                b in proptest::collection::vec(-100.0f64..100.0, 2..30)) {
+            let n = a.len().min(b.len());
+            if let Some(c) = cosine_similarity(&a[..n], &b[..n]) {
+                prop_assert!((-1.0..=1.0).contains(&c));
+            }
+        }
+
+        #[test]
+        fn cosine_symmetry(a in proptest::collection::vec(1.0f64..100.0, 2..20),
+                           b in proptest::collection::vec(1.0f64..100.0, 2..20)) {
+            let n = a.len().min(b.len());
+            let ab = cosine_similarity(&a[..n], &b[..n]).unwrap();
+            let ba = cosine_similarity(&b[..n], &a[..n]).unwrap();
+            prop_assert!((ab - ba).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Differencing and re-integration — the "I" in ARIMA.
+
+/// Applies `d` rounds of first differencing. The result is `d` elements
+/// shorter than the input; returns `None` if the series is too short.
+pub fn difference(xs: &[f64], d: usize) -> Option<Vec<f64>> {
+    if xs.len() <= d {
+        return None;
+    }
+    let mut cur = xs.to_vec();
+    for _ in 0..d {
+        cur = cur.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    Some(cur)
+}
+
+/// Integrates (undoes `d` rounds of differencing on) a block of forecast
+/// values, given the last `d` observations of the *original* series tail.
+///
+/// `tail` must hold at least `d` values; the last `d` are used.
+pub fn integrate(forecasts: &[f64], tail: &[f64], d: usize) -> Option<Vec<f64>> {
+    if tail.len() < d {
+        return None;
+    }
+    if d == 0 {
+        return Some(forecasts.to_vec());
+    }
+    // Recreate the chain of last values at each differencing level:
+    // level 0 is the original tail, level k is the k-times differenced
+    // tail. We need the last value at each level 0..d.
+    let tail = &tail[tail.len() - d.min(tail.len())..];
+    let mut levels: Vec<Vec<f64>> = vec![tail.to_vec()];
+    for _ in 1..d {
+        let prev = levels.last().expect("at least one level");
+        let next: Vec<f64> = prev.windows(2).map(|w| w[1] - w[0]).collect();
+        levels.push(next);
+    }
+    let mut last_at_level: Vec<f64> = levels
+        .iter()
+        .map(|l| *l.last().expect("tail long enough"))
+        .collect();
+
+    let mut out = Vec::with_capacity(forecasts.len());
+    for &f in forecasts {
+        // f is at differencing level d; cascade the cumulative sums back
+        // down to level 0.
+        let mut v = f;
+        for lvl in (0..d).rev() {
+            v += last_at_level[lvl];
+            last_at_level[lvl] = v;
+        }
+        out.push(v);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_difference() {
+        let xs = [1.0, 3.0, 6.0, 10.0];
+        assert_eq!(difference(&xs, 1), Some(vec![2.0, 3.0, 4.0]));
+        assert_eq!(difference(&xs, 2), Some(vec![1.0, 1.0]));
+        assert_eq!(difference(&xs, 0), Some(xs.to_vec()));
+    }
+
+    #[test]
+    fn too_short_series() {
+        assert_eq!(difference(&[1.0], 1), None);
+        assert_eq!(difference(&[], 0), None);
+        assert_eq!(integrate(&[1.0], &[1.0], 2), None);
+    }
+
+    #[test]
+    fn integrate_inverts_difference_d1() {
+        let xs = [5.0, 7.0, 4.0, 9.0, 9.5];
+        let diffed = difference(&xs, 1).unwrap();
+        // Pretend the last two diffs are "forecasts" from history xs[..3].
+        let rebuilt = integrate(&diffed[2..], &xs[..3], 1).unwrap();
+        assert_eq!(rebuilt, vec![9.0, 9.5]);
+    }
+
+    #[test]
+    fn integrate_inverts_difference_d2() {
+        let xs = [1.0, 4.0, 9.0, 16.0, 25.0, 36.0];
+        let diffed = difference(&xs, 2).unwrap(); // constant 2s
+        let rebuilt = integrate(&diffed[2..], &xs[..4], 2).unwrap();
+        assert_eq!(rebuilt, vec![25.0, 36.0]);
+    }
+
+    #[test]
+    fn integrate_d0_is_identity() {
+        assert_eq!(
+            integrate(&[1.0, 2.0], &[9.0], 0),
+            Some(vec![1.0, 2.0])
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn difference_then_integrate_round_trips(
+            xs in proptest::collection::vec(-100.0f64..100.0, 5..40),
+            d in 1usize..=3,
+        ) {
+            prop_assume!(xs.len() > d + 1);
+            let diffed = difference(&xs, d).unwrap();
+            // Treat everything after the first point as forecasts.
+            let split = 1;
+            let rebuilt = integrate(&diffed[split..], &xs[..split + d], d).unwrap();
+            let expected = &xs[split + d..];
+            prop_assert_eq!(rebuilt.len(), expected.len());
+            for (r, e) in rebuilt.iter().zip(expected) {
+                prop_assert!((r - e).abs() < 1e-6, "{r} vs {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Forecast evaluation: the paper's Table IV protocol.
+//!
+//! §IV-A: *"we split our data into two parts, the first half is for
+//! training and the other half is used for prediction and evaluation"*,
+//! then mean, standard deviation, and cosine similarity are compared
+//! between prediction and ground truth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::{mean, std_dev};
+use crate::similarity::cosine_similarity;
+use crate::timeseries::arima::{ArimaError, ArimaFit, ArimaModel, ArimaSpec};
+
+/// Comparison between a prediction series and ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastEval {
+    /// Number of evaluated points.
+    pub n: usize,
+    /// Mean of the predictions (Table IV "prediction / Mean").
+    pub pred_mean: f64,
+    /// Standard deviation of the predictions.
+    pub pred_std: f64,
+    /// Mean of the ground truth (Table IV "ground truth / Mean").
+    pub truth_mean: f64,
+    /// Standard deviation of the ground truth.
+    pub truth_std: f64,
+    /// Cosine similarity between the two series (Table IV "Similarity").
+    pub cosine: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+}
+
+/// Evaluates a prediction against ground truth.
+///
+/// Returns `None` on mismatched lengths, empty input, or an undefined
+/// cosine (zero-norm vector).
+pub fn evaluate_forecast(pred: &[f64], truth: &[f64]) -> Option<ForecastEval> {
+    if pred.len() != truth.len() || pred.is_empty() {
+        return None;
+    }
+    let errors: Vec<f64> = pred.iter().zip(truth).map(|(p, t)| p - t).collect();
+    let mae = errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64;
+    let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / errors.len() as f64).sqrt();
+    Some(ForecastEval {
+        n: pred.len(),
+        pred_mean: mean(pred)?,
+        pred_std: std_dev(pred).unwrap_or(0.0),
+        truth_mean: mean(truth)?,
+        truth_std: std_dev(truth).unwrap_or(0.0),
+        cosine: cosine_similarity(pred, truth)?,
+        mae,
+        rmse,
+    })
+}
+
+/// Output of the half-split prediction pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitForecast {
+    /// The fitted model and its diagnostics.
+    pub fit: ArimaFit,
+    /// Rolling one-step predictions for the held-out half.
+    pub predictions: Vec<f64>,
+    /// The held-out ground truth.
+    pub truth: Vec<f64>,
+    /// Per-point errors `prediction − truth` in chronological order (the
+    /// bottom panels of Figs. 12–13).
+    pub errors: Vec<f64>,
+    /// Table IV statistics.
+    pub eval: ForecastEval,
+}
+
+/// Runs the paper's evaluation protocol on one series: fit on the first
+/// half, roll one-step predictions over the second half, and score.
+///
+/// `max_eval` optionally caps the evaluated tail (the paper uses "the
+/// last 2,700 values"); pass `None` to evaluate the whole second half.
+pub fn split_forecast(
+    series: &[f64],
+    spec: ArimaSpec,
+    max_eval: Option<usize>,
+) -> Result<SplitForecast, ArimaError> {
+    let split = series.len() / 2;
+    let (train, mut test) = series.split_at(split);
+    let fit = ArimaModel::fit(train, spec)?;
+    let mut history = train;
+    if let Some(cap) = max_eval {
+        if cap < test.len() {
+            // Keep the evaluation window at the *end*, conditioning on
+            // everything before it, exactly like the paper's "last 2,700
+            // values".
+            let skip = test.len() - cap;
+            history = &series[..split + skip];
+            test = &series[split + skip..];
+        }
+    }
+    let predictions = fit
+        .model
+        .rolling_one_step(history, test)
+        .ok_or(ArimaError::TooShort {
+            needed: spec.d + 1,
+            got: history.len(),
+        })?;
+    let eval = evaluate_forecast(&predictions, test).ok_or(ArimaError::NonFinite)?;
+    let errors: Vec<f64> = predictions.iter().zip(test).map(|(p, t)| p - t).collect();
+    Ok(SplitForecast {
+        fit,
+        predictions,
+        truth: test.to_vec(),
+        errors,
+        eval,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use crate::rng::Rng;
+
+    #[test]
+    fn evaluate_basic_statistics() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 2.0, 5.0];
+        let e = evaluate_forecast(&pred, &truth).unwrap();
+        assert_eq!(e.n, 3);
+        assert_eq!(e.pred_mean, 2.0);
+        assert!((e.mae - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.rmse - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(e.cosine > 0.9);
+    }
+
+    #[test]
+    fn evaluate_rejects_mismatch() {
+        assert!(evaluate_forecast(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(evaluate_forecast(&[], &[]).is_none());
+        assert!(evaluate_forecast(&[0.0, 0.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn identical_series_scores_perfectly() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let e = evaluate_forecast(&xs, &xs).unwrap();
+        assert!((e.cosine - 1.0).abs() < 1e-12);
+        assert_eq!(e.mae, 0.0);
+        assert_eq!(e.rmse, 0.0);
+    }
+
+    fn stationary_series(n: usize, seed: u64) -> Vec<f64> {
+        // AR(1) around a positive level, like a dispersion series.
+        let noise = Normal::new(0.0, 50.0);
+        let mut rng = Rng::new(seed);
+        let mut x = 600.0;
+        (0..n)
+            .map(|_| {
+                x = 600.0 + 0.7 * (x - 600.0) + noise.sample(&mut rng);
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_forecast_on_predictable_series_has_high_similarity() {
+        let xs = stationary_series(2_000, 8);
+        let sf = split_forecast(&xs, ArimaSpec::new(1, 0, 0), None).unwrap();
+        assert_eq!(sf.predictions.len(), 1_000);
+        assert_eq!(sf.errors.len(), 1_000);
+        // Positive-level series with accurate one-step predictions score
+        // very high cosine similarity (the paper reports > 0.9).
+        assert!(sf.eval.cosine > 0.95, "cosine {}", sf.eval.cosine);
+        assert!(
+            (sf.eval.pred_mean - sf.eval.truth_mean).abs() < 30.0,
+            "means {} vs {}",
+            sf.eval.pred_mean,
+            sf.eval.truth_mean
+        );
+    }
+
+    #[test]
+    fn split_forecast_caps_evaluation_window() {
+        let xs = stationary_series(2_000, 9);
+        let sf = split_forecast(&xs, ArimaSpec::new(1, 0, 0), Some(100)).unwrap();
+        assert_eq!(sf.predictions.len(), 100);
+        assert_eq!(sf.truth.len(), 100);
+        // The evaluated window is the *last* 100 points.
+        assert_eq!(sf.truth, xs[1_900..].to_vec());
+        // A cap larger than the half is a no-op.
+        let sf2 = split_forecast(&xs, ArimaSpec::new(1, 0, 0), Some(5_000)).unwrap();
+        assert_eq!(sf2.predictions.len(), 1_000);
+    }
+
+    #[test]
+    fn split_forecast_propagates_fit_errors() {
+        assert!(matches!(
+            split_forecast(&[1.0, 2.0, 3.0], ArimaSpec::DEFAULT, None),
+            Err(ArimaError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_are_pred_minus_truth() {
+        let xs = stationary_series(600, 10);
+        let sf = split_forecast(&xs, ArimaSpec::new(1, 0, 0), None).unwrap();
+        for ((p, t), e) in sf.predictions.iter().zip(&sf.truth).zip(&sf.errors) {
+            assert!((p - t - e).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Nelder–Mead simplex minimization.
+//!
+//! The CSS objective of an ARMA model is smooth but has no cheap analytic
+//! gradient once MA terms enter, so the classic derivative-free simplex
+//! method is the standard fitting workhorse (it is also what R's
+//! `arima()` falls back to). Standard coefficients: reflection 1,
+//! expansion 2, contraction 0.5, shrink 0.5.
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Location of the best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Whether the simplex converged within tolerance (vs hitting the
+    /// iteration cap).
+    pub converged: bool,
+}
+
+/// Options controlling the search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub tolerance: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            max_iterations: 2_000,
+            tolerance: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Minimizes `f` starting from `x0`.
+///
+/// Zero-dimensional problems return immediately. Objective values of NaN
+/// are treated as `+∞` so the simplex retreats from invalid regions.
+pub fn nelder_mead<F>(mut f: F, x0: &[f64], options: Options) -> Minimum
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    let eval = |x: &[f64], f: &mut F| {
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+    if n == 0 {
+        let value = eval(x0, &mut f);
+        return Minimum {
+            x: Vec::new(),
+            value,
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += if v[i].abs() > 1e-8 {
+            options.initial_step * v[i].abs()
+        } else {
+            options.initial_step
+        };
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut f)).collect();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < options.max_iterations {
+        iterations += 1;
+        // Order: best first.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN values"));
+        simplex = order.iter().map(|&i| simplex[i].clone()).collect();
+        values = order.iter().map(|&i| values[i]).collect();
+
+        if (values[n] - values[0]).abs() <= options.tolerance * (1.0 + values[0].abs()) {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for v in &simplex[..n] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f64;
+            }
+        }
+
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let reflected = lerp(&centroid, &simplex[n], -1.0);
+        let fr = eval(&reflected, &mut f);
+        if fr < values[0] {
+            // Expansion.
+            let expanded = lerp(&centroid, &simplex[n], -2.0);
+            let fe = eval(&expanded, &mut f);
+            if fe < fr {
+                simplex[n] = expanded;
+                values[n] = fe;
+            } else {
+                simplex[n] = reflected;
+                values[n] = fr;
+            }
+        } else if fr < values[n - 1] {
+            simplex[n] = reflected;
+            values[n] = fr;
+        } else {
+            // Contraction (outside if the reflected point improved on the
+            // worst, inside otherwise).
+            let toward = if fr < values[n] { &reflected } else { &simplex[n] };
+            let contracted = lerp(&centroid, toward, 0.5);
+            let fc = eval(&contracted, &mut f);
+            if fc < values[n].min(fr) {
+                simplex[n] = contracted;
+                values[n] = fc;
+            } else {
+                // Shrink toward the best point.
+                let best = simplex[0].clone();
+                for (v, val) in simplex.iter_mut().zip(values.iter_mut()).skip(1) {
+                    *v = lerp(&best, v, 0.5);
+                    *val = eval(v, &mut f);
+                }
+            }
+        }
+    }
+
+    let best = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN values"))
+        .map(|(i, _)| i)
+        .expect("non-empty simplex");
+    Minimum {
+        x: simplex[best].clone(),
+        value: values[best],
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let m = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            Options::default(),
+        );
+        assert!(m.converged);
+        assert!((m.x[0] - 3.0).abs() < 1e-4, "{:?}", m.x);
+        assert!((m.x[1] + 1.0).abs() < 1e-4, "{:?}", m.x);
+        assert!(m.value < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let m = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            Options {
+                max_iterations: 10_000,
+                ..Options::default()
+            },
+        );
+        assert!((m.x[0] - 1.0).abs() < 1e-3, "{:?}", m);
+        assert!((m.x[1] - 1.0).abs() < 1e-3, "{:?}", m);
+    }
+
+    #[test]
+    fn survives_nan_regions() {
+        // NaN outside the unit disc; minimum at the origin.
+        let m = nelder_mead(
+            |x| {
+                let r2 = x[0] * x[0] + x[1] * x[1];
+                if r2 > 1.0 {
+                    f64::NAN
+                } else {
+                    r2
+                }
+            },
+            &[0.5, 0.5],
+            Options::default(),
+        );
+        assert!(m.value < 1e-6, "{:?}", m);
+    }
+
+    #[test]
+    fn zero_dimensional_is_trivial() {
+        let m = nelder_mead(|_| 42.0, &[], Options::default());
+        assert_eq!(m.value, 42.0);
+        assert!(m.converged);
+        assert!(m.x.is_empty());
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let m = nelder_mead(|x| (x[0] - 7.0).powi(2) + 5.0, &[100.0], Options::default());
+        assert!((m.x[0] - 7.0).abs() < 1e-4);
+        assert!((m.value - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let m = nelder_mead(
+            |x| x[0].powi(2),
+            &[1e6],
+            Options {
+                max_iterations: 3,
+                ..Options::default()
+            },
+        );
+        assert_eq!(m.iterations, 3);
+        assert!(!m.converged);
+    }
+}

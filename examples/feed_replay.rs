@@ -1,0 +1,67 @@
+//! Feed replay: reconstruct the vendor's hourly report stream (§II-B).
+//!
+//! The paper's feed publishes one report per family per hour, listing
+//! the bots active in the trailing 24 hours. This example rebuilds that
+//! stream from a generated trace, prints a family's population curve,
+//! and inspects one materialized report.
+//!
+//! ```sh
+//! cargo run --release --example feed_replay [family]
+//! ```
+
+use ddos_schema::{Family, Seconds};
+use ddos_sim::feed::ActivityLog;
+use ddos_sim::{generate, SimConfig};
+
+fn main() {
+    let family: Family = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(Family::Blackenergy);
+
+    eprintln!("generating 10% trace...");
+    let trace = generate(&SimConfig {
+        scale: 0.1,
+        snapshots: false,
+        ..SimConfig::default()
+    });
+    let ds = &trace.dataset;
+
+    let log = ActivityLog::build(ds, family);
+    println!(
+        "{family}: {} activity events across the window",
+        log.len()
+    );
+    if log.is_empty() {
+        println!("(dormant family — no reports to replay)");
+        return;
+    }
+
+    // Population curve, downsampled to one sample per day.
+    let curve = log.report_population(ds);
+    println!("\nhourly-report population (one sample per day):");
+    let peak = curve.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    for (t, count) in curve.iter().step_by(24) {
+        if *count == 0 {
+            continue;
+        }
+        let bar_len = if peak > 0 { count * 50 / peak } else { 0 };
+        println!("{t}  {count:>6} {}", "#".repeat(bar_len));
+    }
+
+    // Materialize the report at the family's busiest instant.
+    let (busiest, population) = curve
+        .iter()
+        .max_by_key(|&&(_, c)| c)
+        .copied()
+        .expect("non-empty curve");
+    let report = log.report_at(busiest);
+    println!(
+        "\nreport at {busiest}: {population} bots (showing 10 of {})",
+        report.bots.len()
+    );
+    for &(ip, last_active) in report.bots.iter().take(10) {
+        let age = (busiest - last_active).get() / Seconds::MINUTE.get();
+        println!("  {ip:<16} last active {last_active} ({age} min before the report)");
+    }
+}

@@ -1,0 +1,143 @@
+//! Persistence round-trips: the binary trace codec and JSON interchange
+//! over full generated datasets, plus property tests on arbitrary
+//! records.
+
+use ddos_schema::record::{AttackRecord, Location};
+use ddos_schema::{
+    codec, Asn, BotnetId, CityId, CountryCode, DatasetBuilder, DdosId, Family, IpAddr4, LatLon,
+    OrgId, Protocol, Timestamp, Window,
+};
+use ddos_sim::{generate, SimConfig};
+use proptest::prelude::*;
+
+#[test]
+fn generated_trace_binary_round_trip() {
+    let mut config = SimConfig::small();
+    config.snapshots = true;
+    let trace = generate(&config);
+    let bytes = codec::encode(&trace.dataset);
+    let back = codec::decode(&bytes).expect("decode own encoding");
+    assert_eq!(back.attacks(), trace.dataset.attacks());
+    assert_eq!(back.bots(), trace.dataset.bots());
+    assert_eq!(back.botnets(), trace.dataset.botnets());
+    for family in trace.dataset.snapshot_families() {
+        assert_eq!(back.snapshots(family), trace.dataset.snapshots(family));
+    }
+}
+
+#[test]
+fn generated_trace_json_round_trip() {
+    let mut config = SimConfig::small();
+    config.snapshots = false; // keep the JSON manageable
+    let trace = generate(&config);
+    let json = codec::to_json(&trace.dataset);
+    let back = codec::from_json(&json).expect("parse own JSON");
+    assert_eq!(back.attacks(), trace.dataset.attacks());
+    // Indexes are rebuilt on deserialization.
+    assert_eq!(
+        back.attacks_of(Family::Dirtjumper).count(),
+        trace.dataset.attacks_of(Family::Dirtjumper).count()
+    );
+}
+
+#[test]
+fn binary_encoding_is_much_denser_than_json() {
+    let mut config = SimConfig::small();
+    config.snapshots = false;
+    let trace = generate(&config);
+    let bytes = codec::encode(&trace.dataset).len();
+    let json = codec::to_json(&trace.dataset).len();
+    assert!(
+        bytes * 3 < json,
+        "binary {bytes} vs json {json}: expected ≥3× denser"
+    );
+}
+
+// ------------------------------------------------------ property tests
+
+fn arb_location() -> impl Strategy<Value = Location> {
+    (
+        prop::sample::select(vec!["US", "RU", "DE", "CN", "BR"]),
+        0u32..1_000,
+        0u32..1_000,
+        1u32..100_000,
+        -89.0f64..89.0,
+        -179.0f64..179.0,
+    )
+        .prop_map(|(cc, city, org, asn, lat, lon)| Location {
+            country: cc.parse::<CountryCode>().unwrap(),
+            city: CityId(city),
+            org: OrgId(org),
+            asn: Asn(asn),
+            coords: LatLon::new(lat, lon).unwrap(),
+        })
+}
+
+fn arb_attack(id: u64) -> impl Strategy<Value = AttackRecord> {
+    (
+        0usize..10,
+        prop::sample::select(Family::ALL.to_vec()),
+        prop::sample::select(Protocol::ALL.to_vec()),
+        any::<u32>(),
+        arb_location(),
+        0i64..1_000_000,
+        0i64..100_000,
+        prop::collection::vec(any::<u32>(), 1..20),
+    )
+        .prop_map(
+            move |(botnet, family, category, target, loc, start, dur, sources)| AttackRecord {
+                id: DdosId(id),
+                botnet: BotnetId(botnet as u32),
+                family,
+                category,
+                target_ip: IpAddr4(target),
+                target: loc,
+                start: Timestamp(start),
+                end: Timestamp(start + dur),
+                sources: sources.into_iter().map(IpAddr4).collect(),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_datasets_round_trip(
+        attacks in prop::collection::vec((0u64..u64::MAX).prop_flat_map(arb_attack), 0..25)
+    ) {
+        let window = Window::new(Timestamp(0), Timestamp(2_000_000)).unwrap();
+        let mut builder = DatasetBuilder::new(window);
+        let mut seen = std::collections::HashSet::new();
+        for a in attacks {
+            if seen.insert(a.id) {
+                builder.push_attack(a).unwrap();
+            }
+        }
+        let ds = builder.build().unwrap();
+        let back = codec::decode(&codec::encode(&ds)).unwrap();
+        prop_assert_eq!(back.attacks(), ds.attacks());
+        let back_json = codec::from_json(&codec::to_json(&ds)).unwrap();
+        prop_assert_eq!(back_json.attacks(), ds.attacks());
+    }
+
+    #[test]
+    fn decode_never_panics_on_corruption(
+        mut bytes in prop::collection::vec(any::<u8>(), 0..300),
+        flip in any::<u8>(),
+        pos in any::<usize>(),
+    ) {
+        // Random bytes.
+        let _ = codec::decode(&bytes);
+        // A real header with corrupted tail.
+        let window = Window::new(Timestamp(0), Timestamp(1_000)).unwrap();
+        let ds = DatasetBuilder::new(window).build().unwrap();
+        let mut valid = codec::encode(&ds).to_vec();
+        if !valid.is_empty() {
+            let i = pos % valid.len();
+            valid[i] ^= flip;
+            let _ = codec::decode(&valid);
+        }
+        bytes.clear();
+    }
+}

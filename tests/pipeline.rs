@@ -1,0 +1,129 @@
+//! End-to-end integration: generate a trace with `ddos-sim`, run the
+//! full `ddos-analytics` pipeline, and check structural soundness.
+
+use std::sync::OnceLock;
+
+use ddos_analytics::AnalysisReport;
+use ddos_schema::{Family, Protocol};
+use ddos_sim::{generate, GeneratedTrace, SimConfig};
+
+fn trace() -> &'static GeneratedTrace {
+    static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| generate(&SimConfig::small()))
+}
+
+fn report() -> &'static AnalysisReport {
+    static REPORT: OnceLock<AnalysisReport> = OnceLock::new();
+    REPORT.get_or_init(|| AnalysisReport::run(&trace().dataset))
+}
+
+#[test]
+fn trace_volume_scales() {
+    let ds = &trace().dataset;
+    // 5% of 50,704, modulo per-cell rounding and injection trimming.
+    assert!((2_200..=2_700).contains(&ds.len()), "attacks {}", ds.len());
+    assert!(!ds.bots().is_empty());
+    assert!(!ds.botnets().is_empty());
+}
+
+#[test]
+fn every_section_of_the_report_is_populated() {
+    let r = report();
+    assert!(!r.protocols.counts.is_empty());
+    assert!(!r.protocol_rows.is_empty());
+    assert!(r.durations.is_some());
+    assert!(r.all_interval_stats.is_some());
+    assert!(!r.daily.counts.is_empty());
+    assert!(!r.shifts.weeks.is_empty());
+    assert!(!r.dispersion.is_empty());
+    assert!(!r.target_countries.is_empty());
+    assert!(!r.overall_targets.is_empty());
+    assert!(!r.collaborations.pairs.is_empty());
+    assert!(!r.multistage.chains.is_empty());
+}
+
+#[test]
+fn protocol_rows_sum_to_attack_total() {
+    let r = report();
+    let total: usize = r.protocol_rows.iter().map(|row| row.attacks).sum();
+    assert_eq!(total, trace().dataset.len());
+}
+
+#[test]
+fn interval_stats_cover_families_with_attacks() {
+    let r = report();
+    for &(family, stats) in &r.interval_stats {
+        let n = trace().dataset.attacks_of(family).count();
+        assert_eq!(stats.is_some(), n >= 2, "{family}: {n} attacks");
+        if let Some(s) = stats {
+            assert!(s.mean >= 0.0);
+            assert!(s.concurrent_fraction <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn dispersion_series_lengths_match_attack_counts() {
+    let r = report();
+    for fd in &r.dispersion {
+        let attacks = trace().dataset.attacks_of(fd.family).count();
+        assert!(fd.series.len() <= attacks);
+        assert!(!fd.series.is_empty());
+        // Dispersion values are finite and non-negative.
+        for &(_, v) in &fd.series {
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn generation_and_analysis_are_deterministic() {
+    let a = generate(&SimConfig::small());
+    let b = generate(&SimConfig::small());
+    assert_eq!(a.dataset.attacks(), b.dataset.attacks());
+    let ra = AnalysisReport::run(&a.dataset);
+    let rb = AnalysisReport::run(&b.dataset);
+    assert_eq!(ra.summary.measured, rb.summary.measured);
+    assert_eq!(ra.collaborations.pairs.len(), rb.collaborations.pairs.len());
+    assert_eq!(ra.multistage.chains.len(), rb.multistage.chains.len());
+}
+
+#[test]
+fn http_dominates_like_table_ii() {
+    let r = report();
+    assert_eq!(r.protocols.dominant(), Some(Protocol::Http));
+    // Table II: HTTP is ~94% of attacks; connection-oriented ≈ 95.6%.
+    assert!(r.protocols.connection_oriented_fraction() > 0.85);
+}
+
+#[test]
+fn dirtjumper_is_the_most_aggressive_family() {
+    let ds = &trace().dataset;
+    let dj = ds.attacks_of(Family::Dirtjumper).count();
+    for f in Family::ACTIVE {
+        if f != Family::Dirtjumper {
+            assert!(dj > ds.attacks_of(f).count(), "{f} out-attacked Dirtjumper");
+        }
+    }
+}
+
+#[test]
+fn snapshots_cover_active_families_and_validate() {
+    let ds = &trace().dataset;
+    for family in [Family::Dirtjumper, Family::Pandora] {
+        let series = ds.snapshots(family).expect("active family has snapshots");
+        assert!(series.len() > 10);
+        for snap in series {
+            snap.validate().unwrap();
+        }
+    }
+}
+
+#[test]
+fn bot_records_are_consistent() {
+    let ds = &trace().dataset;
+    for bot in ds.bots() {
+        bot.validate().unwrap();
+        assert!(bot.first_seen <= bot.last_seen);
+    }
+}
