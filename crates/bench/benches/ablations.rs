@@ -9,10 +9,10 @@
 use std::time::Instant;
 
 use bench::{bench_bots, bench_trace};
-#[allow(unused_imports)]
-use ddos_analytics::util::BotIndex;
 use ddos_analytics::collab::concurrent::CollabAnalysis;
 use ddos_analytics::source::dispersion::FamilyDispersion;
+#[allow(unused_imports)]
+use ddos_analytics::util::BotIndex;
 use ddos_geo::{dispersion, mean_distance_km};
 use ddos_schema::Family;
 use ddos_stats::timeseries::forecast::split_forecast;
@@ -65,7 +65,9 @@ fn ablation_dispersion_metric() {
             mean_small as f64 / n.max(1) as f64
         );
     }
-    println!("(the signed sum accumulates jitter ~sqrt(n): its zero mode needs city-level resolution)");
+    println!(
+        "(the signed sum accumulates jitter ~sqrt(n): its zero mode needs city-level resolution)"
+    );
 }
 
 /// ARIMA order grid on the Dirtjumper dispersion series: (2,1,1) is the
@@ -75,7 +77,10 @@ fn ablation_arima_order() {
     let ds = &bench_trace().dataset;
     let bots = bench_bots();
     let series = FamilyDispersion::compute(ds, bots, Family::Dirtjumper).asymmetric_values();
-    println!("-- ARIMA order grid (dirtjumper, {} points) --", series.len());
+    println!(
+        "-- ARIMA order grid (dirtjumper, {} points) --",
+        series.len()
+    );
     for (p, d, q) in [
         (1, 0, 0),
         (1, 1, 0),
@@ -144,7 +149,10 @@ fn ablation_index_vs_scan() {
     let ds = &bench_trace().dataset;
     let targets = ds.targets();
     let sample: Vec<_> = targets.iter().step_by(targets.len() / 200 + 1).collect();
-    println!("-- per-target lookup: index vs linear scan ({} targets) --", sample.len());
+    println!(
+        "-- per-target lookup: index vs linear scan ({} targets) --",
+        sample.len()
+    );
     let t0 = Instant::now();
     let mut hits = 0usize;
     for &&t in &sample {

@@ -30,7 +30,9 @@ fn bench_generator(c: &mut Criterion) {
     let ds = &bench_trace().dataset;
     g.bench_function("codec_encode", |b| b.iter(|| codec::encode(ds)));
     let bytes = codec::encode(ds);
-    g.bench_function("codec_decode", |b| b.iter(|| codec::decode(&bytes).expect("decodes")));
+    g.bench_function("codec_decode", |b| {
+        b.iter(|| codec::decode(&bytes).expect("decodes"))
+    });
     g.finish();
 }
 

@@ -7,6 +7,7 @@
 //! repro --md            # emit EXPERIMENTS.md content (paper vs measured)
 //! repro --out DIR       # write each artifact to DIR/<id>.txt
 //! repro --list          # list experiment ids
+//! repro --pipeline-bench  # time pass pipeline vs pre-refactor baseline
 //! ```
 
 use ddos_analytics::AnalysisReport;
@@ -17,6 +18,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut ids: Vec<String> = Vec::new();
     let mut emit_md = false;
+    let mut pipeline_bench = false;
     let mut out_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,6 +31,7 @@ fn main() {
             }
             "--out" => out_dir = Some(args.next().expect("--out takes a directory")),
             "--md" => emit_md = true,
+            "--pipeline-bench" => pipeline_bench = true,
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{:<4} {} — {}", e.id, e.title, e.description);
@@ -37,6 +40,11 @@ fn main() {
             }
             id => ids.push(id.to_string()),
         }
+    }
+
+    if pipeline_bench {
+        run_pipeline_bench(scale);
+        return;
     }
 
     eprintln!("generating trace at scale {scale}...");
@@ -91,6 +99,65 @@ fn main() {
         std::fs::write(&path, md).expect("writing comparison");
         eprintln!("wrote {path}");
     }
+}
+
+/// Times the pass-based pipeline against the pre-refactor serial path
+/// on a freshly generated trace and prints per-pass timings plus the
+/// end-to-end speedup.
+fn run_pipeline_bench(scale: f64) {
+    use ddos_analytics::PipelineOptions;
+    use ddos_stats::ArimaSpec;
+
+    eprintln!("generating trace at scale {scale}...");
+    let trace = generate(&SimConfig {
+        scale,
+        ..SimConfig::default()
+    });
+    eprintln!("generated {} attacks", trace.dataset.len());
+    let ds = &trace.dataset;
+    let serial_opts = PipelineOptions {
+        parallel: false,
+        ..PipelineOptions::default()
+    };
+
+    // Warm-up: touch every path once so page cache / allocator state is
+    // comparable, then time each.
+    let _ = AnalysisReport::run(ds);
+    let _ = AnalysisReport::run_opts(ds, serial_opts);
+    let _ = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
+
+    let t0 = std::time::Instant::now();
+    let baseline = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
+    let baseline_elapsed = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let serial = AnalysisReport::run_opts(ds, serial_opts);
+    let serial_elapsed = t1.elapsed();
+
+    let t2 = std::time::Instant::now();
+    let report = AnalysisReport::run(ds);
+    let pipeline_elapsed = t2.elapsed();
+
+    // The reports must agree before the timing comparison means anything.
+    let a = serde_json::to_string(&baseline).expect("baseline serializes");
+    let b = serde_json::to_string(&report).expect("report serializes");
+    let c = serde_json::to_string(&serial).expect("serial report serializes");
+    assert_eq!(a, b, "pipeline and baseline reports diverged");
+    assert_eq!(b, c, "parallel and serial reports diverged");
+
+    // The serial schedule's per-pass numbers are exact (no thread
+    // interleaving inflates them), so show that table.
+    println!("{}", serial.timings.render());
+    let base_s = baseline_elapsed.as_secs_f64();
+    let serial_s = serial_elapsed.as_secs_f64();
+    let pipe_s = pipeline_elapsed.as_secs_f64();
+    println!("baseline (pre-refactor serial): {base_s:>8.3} s");
+    println!("pass pipeline (serial):         {serial_s:>8.3} s");
+    println!("pass pipeline (parallel):       {pipe_s:>8.3} s");
+    println!(
+        "speedup:                        {:>8.2}x",
+        base_s / pipe_s.min(serial_s)
+    );
 }
 
 /// Renders the EXPERIMENTS.md body from the comparison rows.

@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use ddos_schema::{CountryCode, Dataset, Family, Timestamp};
+use ddos_schema::{AttackRecord, CountryCode, Dataset, Family, IpAddr4, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// Start-time window of the rule (seconds).
@@ -57,13 +57,35 @@ impl CollabAnalysis {
     /// Detects all collaborations in the trace.
     pub fn compute(ds: &Dataset) -> CollabAnalysis {
         let attacks = ds.attacks();
-        let mut pairs = Vec::new();
-
         // Group by target; windows are tiny relative to per-target lists.
-        let mut by_target: HashMap<ddos_schema::IpAddr4, Vec<usize>> = HashMap::new();
+        let mut by_target: HashMap<IpAddr4, Vec<usize>> = HashMap::new();
         for (i, a) in attacks.iter().enumerate() {
             by_target.entry(a.target_ip).or_default().push(i);
         }
+        let mut targets: Vec<_> = by_target.into_iter().collect();
+        targets.sort_by_key(|&(ip, _)| ip);
+        Self::detect(attacks, targets.iter().map(|(_, idxs)| idxs.as_slice()))
+    }
+
+    /// Context-based variant of [`CollabAnalysis::compute`]: consumes
+    /// the per-target timelines already grouped and sorted in the
+    /// analysis context.
+    pub fn compute_ctx(ctx: &crate::context::AnalysisContext) -> CollabAnalysis {
+        Self::detect(
+            ctx.dataset.attacks(),
+            ctx.target_timelines.iter().map(|t| t.attacks.as_slice()),
+        )
+    }
+
+    /// The detection rule over per-target attack-index lists. The lists
+    /// must arrive sorted by target IP with indices ascending — both
+    /// providers guarantee it, which is what keeps the two entry points
+    /// byte-identical.
+    fn detect<'t>(
+        attacks: &[AttackRecord],
+        per_target: impl Iterator<Item = &'t [usize]>,
+    ) -> CollabAnalysis {
+        let mut pairs = Vec::new();
 
         let mut parent: HashMap<usize, usize> = HashMap::new();
         fn find(parent: &mut HashMap<usize, usize>, x: usize) -> usize {
@@ -76,9 +98,7 @@ impl CollabAnalysis {
             root
         }
 
-        let mut targets: Vec<_> = by_target.into_iter().collect();
-        targets.sort_by_key(|&(ip, _)| ip);
-        for (_, idxs) in targets {
+        for idxs in per_target {
             // idxs are in start order already (attacks() is sorted).
             for (k, &i) in idxs.iter().enumerate() {
                 for &j in &idxs[k + 1..] {
@@ -112,8 +132,7 @@ impl CollabAnalysis {
             .into_values()
             .map(|mut attacks_in| {
                 attacks_in.sort_unstable();
-                let botnets: HashSet<_> =
-                    attacks_in.iter().map(|&i| attacks[i].botnet).collect();
+                let botnets: HashSet<_> = attacks_in.iter().map(|&i| attacks[i].botnet).collect();
                 let mut families: Vec<Family> =
                     attacks_in.iter().map(|&i| attacks[i].family).collect();
                 families.sort_unstable();
@@ -366,8 +385,6 @@ mod tests {
         assert_eq!(focus.series.len(), 2);
         assert!((focus.mean_duration_a - 5_100.0).abs() < 1.0);
         assert!((focus.mean_duration_b - 6_450.0).abs() < 1.0);
-        assert!(
-            PairFocus::compute(&ds, &c, Family::Nitol, Family::Yzf).is_none()
-        );
+        assert!(PairFocus::compute(&ds, &c, Family::Nitol, Family::Yzf).is_none());
     }
 }

@@ -60,13 +60,37 @@ impl MultistageAnalysis {
         for (i, a) in attacks.iter().enumerate() {
             by_target.entry(a.target_ip).or_default().push(i);
         }
-        let mut chains = Vec::new();
-        let mut gaps = Vec::new();
         let mut targets: Vec<_> = by_target.into_iter().collect();
         targets.sort_by_key(|&(ip, _)| ip);
-        for (target, idxs) in targets {
+        Self::detect(
+            attacks,
+            targets.iter().map(|&(ip, ref idxs)| (ip, idxs.as_slice())),
+        )
+    }
+
+    /// Context-based variant of [`MultistageAnalysis::compute`]:
+    /// consumes the per-target timelines already grouped and sorted in
+    /// the analysis context.
+    pub fn compute_ctx(ctx: &crate::context::AnalysisContext) -> MultistageAnalysis {
+        Self::detect(
+            ctx.dataset.attacks(),
+            ctx.target_timelines
+                .iter()
+                .map(|t| (t.target, t.attacks.as_slice())),
+        )
+    }
+
+    /// The chaining rule over per-target attack-index lists (sorted by
+    /// target IP, indices ascending — both providers guarantee it).
+    fn detect<'t>(
+        attacks: &[ddos_schema::AttackRecord],
+        per_target: impl Iterator<Item = (IpAddr4, &'t [usize])>,
+    ) -> MultistageAnalysis {
+        let mut chains = Vec::new();
+        let mut gaps = Vec::new();
+        for (target, idxs) in per_target {
             let mut current: Vec<usize> = Vec::new();
-            for &i in &idxs {
+            for &i in idxs {
                 match current.last() {
                     Some(&prev) => {
                         let gap = (attacks[i].start - attacks[prev].end).get();
@@ -97,8 +121,7 @@ impl MultistageAnalysis {
             for w in current.windows(2) {
                 gaps.push((attacks[w[1]].start - attacks[w[0]].end).get());
             }
-            let mut families: Vec<Family> =
-                current.iter().map(|&i| attacks[i].family).collect();
+            let mut families: Vec<Family> = current.iter().map(|&i| attacks[i].family).collect();
             families.sort_unstable();
             families.dedup();
             chains.push(Chain {

@@ -1,0 +1,246 @@
+//! The shared analysis context: everything the passes need, built once.
+//!
+//! Before the pass-based pipeline, every analysis rescanned the dataset
+//! for itself: the dispersion and prediction passes each geolocated every
+//! attack source (twice per family in total), the shift analysis resolved
+//! them a third time, and four separate analyses rebuilt and re-sorted
+//! the same per-target attack index. [`AnalysisContext`] hoists those
+//! shared joins into one construction step so each is computed exactly
+//! once and borrowed by every pass.
+//!
+//! # Invariants
+//!
+//! The context is *read-only* and derived purely from the dataset (plus
+//! the chosen ARIMA order), which is what lets the scheduler run passes
+//! against it from multiple threads:
+//!
+//! * `durations[i]` and `all_starts[i]` describe `dataset.attacks()[i]`;
+//!   both vectors share the dataset's trace order (sorted by start time).
+//! * `target_timelines` is sorted by target IP; each timeline's attack
+//!   indices are ascending, hence in start order.
+//! * The per-family slots ([`FamilyContext`]) follow [`Family::ACTIVE`]
+//!   order. Each family's `starts` are ascending; its `dispersion` is
+//!   bit-identical to what [`FamilyDispersion::compute`] produces; its
+//!   `weekly_bots` maps hold exactly the resolvable `(bot, country)`
+//!   participations per window week.
+
+use std::collections::HashSet;
+
+use ddos_geo::dispersion;
+use ddos_schema::{CountryCode, Dataset, Family, IpAddr4, Timestamp};
+use ddos_stats::ArimaSpec;
+
+use crate::source::dispersion::FamilyDispersion;
+use crate::util::{BotIndex, IpMap};
+
+/// One target's attack history: indices into `Dataset::attacks()`,
+/// ascending (therefore in start order).
+#[derive(Debug, Clone)]
+pub struct TargetTimeline {
+    /// The victim IP.
+    pub target: IpAddr4,
+    /// Indices of the attacks on this target, ascending.
+    pub attacks: Vec<usize>,
+}
+
+/// Per-family precomputation, one slot per [`Family::ACTIVE`] entry.
+#[derive(Debug, Clone)]
+pub struct FamilyContext {
+    /// The family.
+    pub family: Family,
+    /// Start times of the family's attacks, ascending.
+    pub starts: Vec<Timestamp>,
+    /// The family's dispersion series (identical to
+    /// [`FamilyDispersion::compute`], but sharing the context's single
+    /// geolocation join).
+    pub dispersion: FamilyDispersion,
+    /// Per window week: the distinct resolvable bots participating in
+    /// the family's attacks that week, with their countries.
+    pub weekly_bots: Vec<IpMap<CountryCode>>,
+}
+
+/// Everything the analysis passes share, built once per dataset.
+#[derive(Debug)]
+pub struct AnalysisContext<'a> {
+    /// The dataset under analysis.
+    pub dataset: &'a Dataset,
+    /// ARIMA order for the prediction pass.
+    pub spec: ArimaSpec,
+    /// The `Botlist` join (bot IP → country + coordinates).
+    pub bots: BotIndex,
+    /// Duration in seconds of each attack, in trace order.
+    pub durations: Vec<f64>,
+    /// Start time of each attack, in trace order.
+    pub all_starts: Vec<Timestamp>,
+    /// Per-target attack histories, sorted by target IP.
+    pub target_timelines: Vec<TargetTimeline>,
+    /// Per-family precomputation in [`Family::ACTIVE`] order.
+    families: Vec<FamilyContext>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Builds the context with the default ARIMA order.
+    pub fn new(dataset: &'a Dataset) -> AnalysisContext<'a> {
+        Self::build(dataset, ArimaSpec::DEFAULT)
+    }
+
+    /// Builds the context: one pass over the attacks for the global
+    /// vectors and timelines, plus one pass per active family that
+    /// resolves each attack source through the bot index exactly once
+    /// (feeding both the dispersion series and the weekly bot maps).
+    pub fn build(dataset: &'a Dataset, spec: ArimaSpec) -> AnalysisContext<'a> {
+        let bots = BotIndex::build(dataset);
+        let window = dataset.window();
+        let attacks = dataset.attacks();
+
+        let mut durations = Vec::with_capacity(attacks.len());
+        let mut all_starts = Vec::with_capacity(attacks.len());
+        let mut by_target: IpMap<Vec<usize>> = IpMap::default();
+        for (i, a) in attacks.iter().enumerate() {
+            durations.push(a.duration().as_f64());
+            all_starts.push(a.start);
+            by_target.entry(a.target_ip).or_default().push(i);
+        }
+        let mut target_timelines: Vec<TargetTimeline> = by_target
+            .into_iter()
+            .map(|(target, attacks)| TargetTimeline { target, attacks })
+            .collect();
+        target_timelines.sort_by_key(|t| t.target);
+
+        let num_weeks = window.num_weeks();
+        let families = Family::ACTIVE
+            .into_iter()
+            .map(|family| {
+                let mut starts = Vec::new();
+                let mut series = Vec::new();
+                let mut days = HashSet::new();
+                let mut weekly: Vec<IpMap<CountryCode>> = vec![IpMap::default(); num_weeks];
+                for a in dataset.attacks_of(family) {
+                    starts.push(a.start);
+                    let week = window.week_index(a.start);
+                    let mut coords = Vec::with_capacity(a.sources.len());
+                    for &ip in &a.sources {
+                        let Some((cc, c)) = bots.lookup(ip) else {
+                            continue;
+                        };
+                        coords.push(c);
+                        if let Some(w) = week {
+                            weekly[w].insert(ip, cc);
+                        }
+                    }
+                    let Some(d) = dispersion(&coords) else {
+                        continue;
+                    };
+                    if let Some(day) = window.day_index(a.start) {
+                        days.insert(day);
+                    }
+                    series.push((a.start, d.value()));
+                }
+                FamilyContext {
+                    family,
+                    starts,
+                    dispersion: FamilyDispersion {
+                        family,
+                        series,
+                        active_days: days.len(),
+                    },
+                    weekly_bots: weekly,
+                }
+            })
+            .collect();
+
+        AnalysisContext {
+            dataset,
+            spec,
+            bots,
+            durations,
+            all_starts,
+            target_timelines,
+            families,
+        }
+    }
+
+    /// The per-family slots, in [`Family::ACTIVE`] order.
+    pub fn families(&self) -> &[FamilyContext] {
+        &self.families
+    }
+
+    /// One active family's slot (`None` for inactive families).
+    pub fn family(&self, family: Family) -> Option<&FamilyContext> {
+        self.families.iter().find(|fc| fc.family == family)
+    }
+
+    /// One active family's dispersion series.
+    pub fn dispersion_of(&self, family: Family) -> Option<&FamilyDispersion> {
+        self.family(family).map(|fc| &fc.dispersion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overview::test_support::{attack, dataset};
+    use crate::source::dispersion::qualifying_families;
+    use crate::source::shift::ShiftAnalysis;
+
+    #[test]
+    fn vectors_follow_trace_order() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Pandora, 2, 120, 700, 1),
+            attack(Family::Dirtjumper, 3, 5_000, 900, 2),
+        ]);
+        let ctx = AnalysisContext::new(&ds);
+        assert_eq!(ctx.durations, vec![600.0, 700.0, 900.0]);
+        assert_eq!(
+            ctx.all_starts,
+            ds.attacks().iter().map(|a| a.start).collect::<Vec<_>>()
+        );
+        // Two targets, sorted by IP, indices ascending.
+        assert_eq!(ctx.target_timelines.len(), 2);
+        assert!(ctx.target_timelines[0].target < ctx.target_timelines[1].target);
+        assert_eq!(ctx.target_timelines[0].attacks, vec![0, 1]);
+        assert_eq!(ctx.target_timelines[1].attacks, vec![2]);
+    }
+
+    #[test]
+    fn family_slots_cover_active_families() {
+        let ds = dataset(vec![attack(Family::Pandora, 1, 100, 60, 1)]);
+        let ctx = AnalysisContext::new(&ds);
+        assert_eq!(ctx.families().len(), Family::ACTIVE.len());
+        let fc = ctx.family(Family::Pandora).unwrap();
+        assert_eq!(fc.starts, vec![Timestamp(100)]);
+        assert!(ctx.dispersion_of(Family::Pandora).is_some());
+    }
+
+    #[test]
+    fn dispersion_matches_standalone_compute() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Pandora, 2, 120, 700, 1),
+        ]);
+        let ctx = AnalysisContext::new(&ds);
+        for family in Family::ACTIVE {
+            let standalone = FamilyDispersion::compute(&ds, &ctx.bots, family);
+            assert_eq!(ctx.dispersion_of(family), Some(&standalone));
+        }
+        // And the shared join agrees with the standalone shift analysis.
+        assert_eq!(
+            ShiftAnalysis::compute_ctx(&ctx),
+            ShiftAnalysis::compute(&ds, &ctx.bots)
+        );
+        assert_eq!(
+            crate::source::dispersion::qualifying_families_ctx(&ctx),
+            qualifying_families(&ds, &ctx.bots)
+        );
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let ds = dataset(vec![]);
+        let ctx = AnalysisContext::new(&ds);
+        assert!(ctx.durations.is_empty());
+        assert!(ctx.target_timelines.is_empty());
+        assert_eq!(ctx.families().len(), Family::ACTIVE.len());
+    }
+}

@@ -24,7 +24,7 @@ use ddos_schema::{CountryCode, Dataset, Family, IpAddr4};
 use ddos_stats::descriptive;
 use serde::{Deserialize, Serialize};
 
-use crate::util::BotIndex;
+use crate::util::{BotIndex, IpSet};
 
 /// Coverage of one repeat attack by the victim's source blacklist.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,6 +71,38 @@ impl BlacklistSim {
             *round += 1;
         }
         BlacklistSim { hits }
+    }
+
+    /// Context-based variant of [`BlacklistSim::run`]: replays each
+    /// target's timeline independently (the blacklist state of one
+    /// target never influences another), then restores trace order by
+    /// sorting on the attack index.
+    pub fn run_ctx(ctx: &crate::context::AnalysisContext) -> BlacklistSim {
+        let attacks = ctx.dataset.attacks();
+        let mut indexed: Vec<(usize, BlacklistHit)> = Vec::new();
+        for tl in &ctx.target_timelines {
+            let mut list = IpSet::default();
+            for (round, &i) in tl.attacks.iter().enumerate() {
+                let a = &attacks[i];
+                if round > 0 && !a.sources.is_empty() {
+                    let known = a.sources.iter().filter(|ip| list.contains(ip)).count();
+                    indexed.push((
+                        i,
+                        BlacklistHit {
+                            target: tl.target,
+                            round,
+                            coverage: known as f64 / a.sources.len() as f64,
+                            family: a.family,
+                        },
+                    ));
+                }
+                list.extend(a.sources.iter().copied());
+            }
+        }
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        BlacklistSim {
+            hits: indexed.into_iter().map(|(_, h)| h).collect(),
+        }
     }
 
     /// Mean coverage over all repeat attacks.
@@ -127,11 +159,14 @@ pub struct LatencyPoint {
 /// automatic responder (≈1 minute) with semi-automatic (≈1 hour) and
 /// manual (≈4 hours — the paper's detection-window discussion) handling.
 pub fn detection_latency_sweep(ds: &Dataset, latencies_s: &[f64]) -> Vec<LatencyPoint> {
-    let durations: Vec<f64> = ds
-        .attacks()
-        .iter()
-        .map(|a| a.duration().as_f64())
-        .collect();
+    let durations: Vec<f64> = ds.attacks().iter().map(|a| a.duration().as_f64()).collect();
+    latency_sweep_from_durations(&durations, latencies_s)
+}
+
+/// The sweep over an already-extracted duration sample (trace order) —
+/// lets the pipeline reuse the duration vector precomputed in the
+/// analysis context.
+pub fn latency_sweep_from_durations(durations: &[f64], latencies_s: &[f64]) -> Vec<LatencyPoint> {
     let total: f64 = durations.iter().sum();
     latencies_s
         .iter()
@@ -236,10 +271,7 @@ mod tests {
         assert!((sim.hits[0].coverage - 0.5).abs() < 1e-12);
         assert!((sim.hits[1].coverage - 0.75).abs() < 1e-12);
         assert!((sim.mean_coverage().unwrap() - 0.625).abs() < 1e-12);
-        assert_eq!(
-            sim.mean_coverage_for(Family::Pandora),
-            Some(0.75)
-        );
+        assert_eq!(sim.mean_coverage_for(Family::Pandora), Some(0.75));
         assert_eq!(sim.mean_coverage_for(Family::Nitol), None);
         let by_round = sim.coverage_by_round(3);
         assert_eq!(by_round.len(), 2);

@@ -20,16 +20,21 @@
 //! crate renders the results as the paper's tables and figure series, and
 //! the `bench` crate regenerates each artifact individually.
 //!
-//! The analyses are *pure*: they read the dataset (plus the bot-location
-//! join built once in [`util`]) and never mutate it, so they parallelize
-//! and compose freely.
+//! The analyses are *pure*: they read the dataset (plus the shared joins
+//! built once in [`context`]) and never mutate it. The pass-based
+//! pipeline exploits this: [`passes`] registers every report section as
+//! a named pass over the [`context::AnalysisContext`] and schedules the
+//! independent ones on scoped threads, with a guarantee that the
+//! parallel report serializes byte-identically to the serial one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collab;
+pub mod context;
 pub mod defense;
 pub mod overview;
+pub mod passes;
 pub mod pipeline;
 pub mod preprocess;
 pub mod source;
@@ -37,4 +42,5 @@ pub mod summary;
 pub mod target;
 pub mod util;
 
-pub use pipeline::AnalysisReport;
+pub use context::AnalysisContext;
+pub use pipeline::{AnalysisReport, PipelineOptions};

@@ -31,6 +31,19 @@ impl DurationAnalysis {
         Self::compute_filtered(ds, Some(family))
     }
 
+    /// Context-based variant of [`DurationAnalysis::compute`]: reuses
+    /// the start and duration vectors precomputed in the analysis
+    /// context (both in trace order, so the series is identical).
+    pub fn compute_ctx(ctx: &crate::context::AnalysisContext) -> Option<DurationAnalysis> {
+        let series: Vec<(Timestamp, f64)> = ctx
+            .all_starts
+            .iter()
+            .copied()
+            .zip(ctx.durations.iter().copied())
+            .collect();
+        Self::from_series(series)
+    }
+
     fn compute_filtered(ds: &Dataset, family: Option<Family>) -> Option<DurationAnalysis> {
         let series: Vec<(Timestamp, f64)> = ds
             .attacks()
@@ -38,6 +51,10 @@ impl DurationAnalysis {
             .filter(|a| family.map_or(true, |f| f == a.family))
             .map(|a| (a.start, a.duration().as_f64()))
             .collect();
+        Self::from_series(series)
+    }
+
+    fn from_series(series: Vec<(Timestamp, f64)>) -> Option<DurationAnalysis> {
         if series.is_empty() {
             return None;
         }
@@ -61,11 +78,7 @@ impl DurationAnalysis {
     /// four-hour point and the sub-minute share that justifies the 60 s
     /// attack-separation rule).
     pub fn fraction_under(&self, seconds: f64) -> f64 {
-        let n = self
-            .series
-            .iter()
-            .filter(|&&(_, d)| d < seconds)
-            .count();
+        let n = self.series.iter().filter(|&&(_, d)| d < seconds).count();
         n as f64 / self.series.len() as f64
     }
 }

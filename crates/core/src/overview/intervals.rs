@@ -10,23 +10,27 @@ use serde::{Deserialize, Serialize};
 /// family's attacks (seconds; zero = simultaneous).
 pub fn family_intervals(ds: &Dataset, family: Family) -> Vec<i64> {
     let starts: Vec<Timestamp> = ds.attacks_of(family).map(|a| a.start).collect();
-    diffs(&starts)
+    starts_to_intervals(&starts)
 }
 
 /// Inter-attack intervals across *all* attacks (the "all" series of
 /// Fig. 3).
 pub fn all_intervals(ds: &Dataset) -> Vec<i64> {
     let starts: Vec<Timestamp> = ds.attacks().iter().map(|a| a.start).collect();
-    diffs(&starts)
+    starts_to_intervals(&starts)
 }
 
 /// Inter-attack intervals of attacks on one target, across families.
 pub fn target_intervals(ds: &Dataset, target: ddos_schema::IpAddr4) -> Vec<i64> {
     let starts: Vec<Timestamp> = ds.attacks_on(target).map(|a| a.start).collect();
-    diffs(&starts)
+    starts_to_intervals(&starts)
 }
 
-fn diffs(starts: &[Timestamp]) -> Vec<i64> {
+/// Consecutive differences of an ascending start-time series — the
+/// interval sample every variant above reduces to. Public so the
+/// pipeline can reuse the start vectors precomputed in the analysis
+/// context.
+pub fn starts_to_intervals(starts: &[Timestamp]) -> Vec<i64> {
     starts.windows(2).map(|w| (w[1] - w[0]).get()).collect()
 }
 
@@ -138,10 +142,8 @@ impl ConcurrencyAnalysis {
             if attacks.len() < 2 {
                 continue;
             }
-            let mut families: Vec<Family> = attacks
-                .iter()
-                .map(|&i| ds.attacks()[i].family)
-                .collect();
+            let mut families: Vec<Family> =
+                attacks.iter().map(|&i| ds.attacks()[i].family).collect();
             families.sort_unstable();
             families.dedup();
             let event = ConcurrentEvent {
@@ -154,6 +156,47 @@ impl ConcurrencyAnalysis {
             } else {
                 multi.push(event);
             }
+        }
+        ConcurrencyAnalysis {
+            single_family_events: single,
+            multi_family_events: multi,
+        }
+    }
+
+    /// Context-based variant of [`ConcurrencyAnalysis::compute`].
+    ///
+    /// The trace is sorted by start time, so attacks sharing a start
+    /// instant form consecutive runs — a single linear scan replaces the
+    /// `BTreeMap` regrouping and yields the exact same events in the
+    /// exact same order.
+    pub fn compute_ctx(ctx: &crate::context::AnalysisContext) -> ConcurrencyAnalysis {
+        let attacks = ctx.dataset.attacks();
+        let mut single = Vec::new();
+        let mut multi = Vec::new();
+        let mut i = 0;
+        while i < attacks.len() {
+            let start = attacks[i].start;
+            let mut j = i + 1;
+            while j < attacks.len() && attacks[j].start == start {
+                j += 1;
+            }
+            if j - i >= 2 {
+                let idxs: Vec<usize> = (i..j).collect();
+                let mut families: Vec<Family> = idxs.iter().map(|&k| attacks[k].family).collect();
+                families.sort_unstable();
+                families.dedup();
+                let event = ConcurrentEvent {
+                    start,
+                    attacks: idxs,
+                    families,
+                };
+                if event.is_single_family() {
+                    single.push(event);
+                } else {
+                    multi.push(event);
+                }
+            }
+            i = j;
         }
         ConcurrencyAnalysis {
             single_family_events: single,
@@ -258,7 +301,7 @@ mod tests {
         assert_eq!(bands[2].1, 1); // 2000 s
         assert_eq!(bands[3].1, 1); // 8000 s
         assert_eq!(bands[5].1, 1); // 90000 s
-        // Simultaneous attacks excluded from every band.
+                                   // Simultaneous attacks excluded from every band.
         let total: usize = bands.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 5);
     }

@@ -13,8 +13,8 @@ pub(crate) mod test_support {
 
     use ddos_schema::record::Location;
     use ddos_schema::{
-        Asn, AttackRecord, BotnetId, CityId, CountryCode, Dataset, DatasetBuilder, DdosId, Family,
-        IpAddr4, LatLon, OrgId, Protocol, Timestamp, Window,
+        Asn, AttackRecord, BotnetId, CityId, Dataset, DatasetBuilder, DdosId, Family, IpAddr4,
+        LatLon, OrgId, Protocol, Timestamp, Window,
     };
 
     /// Window of 10 days starting at the epoch.
@@ -58,10 +58,5 @@ pub(crate) mod test_support {
         let mut b = DatasetBuilder::new(window());
         b.extend_attacks(attacks).unwrap();
         b.build().unwrap()
-    }
-
-    /// CountryCode helper.
-    pub fn cc(code: &str) -> CountryCode {
-        code.parse().unwrap()
     }
 }

@@ -1,0 +1,500 @@
+//! The analysis-pass registry and scheduler.
+//!
+//! Every section of the report is produced by one [`PassSpec`]: a named
+//! pure function from the shared [`AnalysisContext`] (plus any
+//! already-finished passes it depends on) to one [`PassOutput`]. The
+//! [`execute`] driver schedules the registry in dependency stages and —
+//! when asked — runs the passes of a stage on scoped threads. Because
+//! passes are pure functions of the context and their declared
+//! dependencies, the parallel schedule produces a report byte-identical
+//! to the serial one; only the [`PassTiming`]s differ.
+//!
+//! # Adding a pass
+//!
+//! 1. Add the output variant to [`PassOutput`] and a slot to
+//!    [`PartialReport`] (and wire it through `PartialReport::apply`).
+//! 2. Write the pass function (`fn(&AnalysisContext, &PartialReport) ->
+//!    PassOutput`) and append a [`PassSpec`] to [`REGISTRY`], listing in
+//!    `deps` the names of any passes whose output it reads.
+//! 3. Consume the slot in `AnalysisReport`'s assembly
+//!    (`PartialReport::into_report`).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use ddos_schema::{CountryCode, Family};
+
+use crate::collab::concurrent::{CollabAnalysis, PairFocus};
+use crate::collab::multistage::MultistageAnalysis;
+use crate::context::AnalysisContext;
+use crate::defense::{latency_sweep_from_durations, BlacklistSim, LatencyPoint};
+use crate::overview::activity::{activity_levels, FamilyActivity};
+use crate::overview::daily::DailyDistribution;
+use crate::overview::duration::DurationAnalysis;
+use crate::overview::intervals::{starts_to_intervals, ConcurrencyAnalysis, IntervalStats};
+use crate::overview::protocols::{protocol_preferences, ProtocolFamilyRow, ProtocolPopularity};
+use crate::source::dispersion::{qualifying_families_ctx, FamilyDispersion};
+use crate::source::prediction::PredictionAnalysis;
+use crate::source::shift::ShiftAnalysis;
+use crate::summary::SummaryComparison;
+use crate::target::country::{all_profiles, overall_top_countries, FamilyCountryProfile};
+use crate::target::recurrence::RecurrenceAnalysis;
+
+/// The detection-latency grid of the report (§III-D: 1 min, 10 min,
+/// 1 h, 4 h, 1 day).
+pub const LATENCY_GRID_S: &[f64] = &[60.0, 600.0, 3_600.0, 4.0 * 3_600.0, 86_400.0];
+
+/// Wall-clock of one finished pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassTiming {
+    /// The pass name (see [`REGISTRY`]).
+    pub name: &'static str,
+    /// Time spent inside the pass, microseconds.
+    pub micros: u128,
+}
+
+/// Wall-clock breakdown of one pipeline run. Excluded from the
+/// serialized report (timings are machine-dependent metadata, and
+/// keeping them out is what makes parallel and serial reports
+/// byte-identical).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassTimings {
+    /// Time spent building the [`AnalysisContext`], microseconds.
+    pub context_micros: u128,
+    /// Per-pass wall-clock, in completion (stage, registry) order.
+    pub passes: Vec<PassTiming>,
+    /// End-to-end pipeline wall-clock, microseconds.
+    pub total_micros: u128,
+    /// Whether the stages ran on scoped threads.
+    pub parallel: bool,
+}
+
+impl PassTimings {
+    /// The slowest pass, if any ran.
+    pub fn slowest(&self) -> Option<&PassTiming> {
+        self.passes.iter().max_by_key(|t| t.micros)
+    }
+
+    /// Renders the breakdown as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mode = if self.parallel { "parallel" } else { "serial" };
+        out.push_str(&format!("pipeline timings ({mode})\n"));
+        out.push_str(&format!("{:<18} {:>12}\n", "pass", "micros"));
+        out.push_str(&format!("{:<18} {:>12}\n", "context", self.context_micros));
+        for t in &self.passes {
+            out.push_str(&format!("{:<18} {:>12}\n", t.name, t.micros));
+        }
+        out.push_str(&format!("{:<18} {:>12}\n", "total", self.total_micros));
+        out
+    }
+}
+
+/// The output of one pass — one report section.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // variant names mirror the report fields
+pub enum PassOutput {
+    Protocols(ProtocolPopularity),
+    ProtocolRows(Vec<ProtocolFamilyRow>),
+    Summary(SummaryComparison),
+    Daily(DailyDistribution),
+    IntervalStats(Vec<(Family, Option<IntervalStats>)>),
+    AllIntervalStats(Option<IntervalStats>),
+    Concurrency(ConcurrencyAnalysis),
+    Durations(Option<DurationAnalysis>),
+    Shifts(ShiftAnalysis),
+    Dispersion(Vec<FamilyDispersion>),
+    Prediction(PredictionAnalysis),
+    TargetCountries(Vec<FamilyCountryProfile>),
+    OverallTargets(Vec<(CountryCode, usize)>),
+    Collaborations(CollabAnalysis),
+    FlagshipPair(Option<PairFocus>),
+    Multistage(MultistageAnalysis),
+    Activity(Vec<FamilyActivity>),
+    Recurrence(RecurrenceAnalysis),
+    Blacklist(BlacklistSim),
+    Latency(Vec<LatencyPoint>),
+}
+
+/// The report under construction: one optional slot per section.
+#[derive(Debug, Clone, Default)]
+#[allow(missing_docs)] // field names mirror the report fields
+pub struct PartialReport {
+    pub protocols: Option<ProtocolPopularity>,
+    pub protocol_rows: Option<Vec<ProtocolFamilyRow>>,
+    pub summary: Option<SummaryComparison>,
+    pub daily: Option<DailyDistribution>,
+    pub interval_stats: Option<Vec<(Family, Option<IntervalStats>)>>,
+    pub all_interval_stats: Option<Option<IntervalStats>>,
+    pub concurrency: Option<ConcurrencyAnalysis>,
+    pub durations: Option<Option<DurationAnalysis>>,
+    pub shifts: Option<ShiftAnalysis>,
+    pub dispersion: Option<Vec<FamilyDispersion>>,
+    pub prediction: Option<PredictionAnalysis>,
+    pub target_countries: Option<Vec<FamilyCountryProfile>>,
+    pub overall_targets: Option<Vec<(CountryCode, usize)>>,
+    pub collaborations: Option<CollabAnalysis>,
+    pub flagship_pair: Option<Option<PairFocus>>,
+    pub multistage: Option<MultistageAnalysis>,
+    pub activity: Option<Vec<FamilyActivity>>,
+    pub recurrence: Option<RecurrenceAnalysis>,
+    pub blacklist: Option<BlacklistSim>,
+    pub latency: Option<Vec<LatencyPoint>>,
+}
+
+impl PartialReport {
+    /// Stores one pass's output in its slot.
+    pub fn apply(&mut self, output: PassOutput) {
+        match output {
+            PassOutput::Protocols(v) => self.protocols = Some(v),
+            PassOutput::ProtocolRows(v) => self.protocol_rows = Some(v),
+            PassOutput::Summary(v) => self.summary = Some(v),
+            PassOutput::Daily(v) => self.daily = Some(v),
+            PassOutput::IntervalStats(v) => self.interval_stats = Some(v),
+            PassOutput::AllIntervalStats(v) => self.all_interval_stats = Some(v),
+            PassOutput::Concurrency(v) => self.concurrency = Some(v),
+            PassOutput::Durations(v) => self.durations = Some(v),
+            PassOutput::Shifts(v) => self.shifts = Some(v),
+            PassOutput::Dispersion(v) => self.dispersion = Some(v),
+            PassOutput::Prediction(v) => self.prediction = Some(v),
+            PassOutput::TargetCountries(v) => self.target_countries = Some(v),
+            PassOutput::OverallTargets(v) => self.overall_targets = Some(v),
+            PassOutput::Collaborations(v) => self.collaborations = Some(v),
+            PassOutput::FlagshipPair(v) => self.flagship_pair = Some(v),
+            PassOutput::Multistage(v) => self.multistage = Some(v),
+            PassOutput::Activity(v) => self.activity = Some(v),
+            PassOutput::Recurrence(v) => self.recurrence = Some(v),
+            PassOutput::Blacklist(v) => self.blacklist = Some(v),
+            PassOutput::Latency(v) => self.latency = Some(v),
+        }
+    }
+}
+
+/// One registered analysis pass.
+pub struct PassSpec {
+    /// Unique pass name (also the `deps` vocabulary).
+    pub name: &'static str,
+    /// Names of the passes whose output this pass reads.
+    pub deps: &'static [&'static str],
+    /// The pass body. Must be a pure function of the context and the
+    /// declared dependencies' slots in the partial report.
+    pub run: fn(&AnalysisContext, &PartialReport) -> PassOutput,
+}
+
+fn pass_protocols(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Protocols(ProtocolPopularity::compute(ctx.dataset))
+}
+
+fn pass_protocol_rows(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::ProtocolRows(protocol_preferences(ctx.dataset))
+}
+
+fn pass_summary(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Summary(SummaryComparison::compute(ctx.dataset))
+}
+
+fn pass_daily(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Daily(DailyDistribution::compute(ctx.dataset))
+}
+
+fn pass_interval_stats(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::IntervalStats(
+        ctx.families()
+            .iter()
+            .map(|fc| {
+                let ivs = starts_to_intervals(&fc.starts);
+                (fc.family, IntervalStats::compute(&ivs))
+            })
+            .collect(),
+    )
+}
+
+fn pass_all_interval_stats(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::AllIntervalStats(IntervalStats::compute(&starts_to_intervals(
+        &ctx.all_starts,
+    )))
+}
+
+fn pass_concurrency(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Concurrency(ConcurrencyAnalysis::compute_ctx(ctx))
+}
+
+fn pass_durations(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Durations(DurationAnalysis::compute_ctx(ctx))
+}
+
+fn pass_shifts(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Shifts(ShiftAnalysis::compute_ctx(ctx))
+}
+
+fn pass_dispersion(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Dispersion(qualifying_families_ctx(ctx))
+}
+
+fn pass_prediction(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Prediction(PredictionAnalysis::compute_ctx(ctx))
+}
+
+fn pass_target_countries(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::TargetCountries(all_profiles(ctx.dataset))
+}
+
+fn pass_overall_targets(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::OverallTargets(overall_top_countries(ctx.dataset, 5))
+}
+
+fn pass_collaborations(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Collaborations(CollabAnalysis::compute_ctx(ctx))
+}
+
+fn pass_flagship_pair(ctx: &AnalysisContext, partial: &PartialReport) -> PassOutput {
+    let collab = partial
+        .collaborations
+        .as_ref()
+        .expect("scheduler ran flagship_pair before its collaborations dependency");
+    PassOutput::FlagshipPair(PairFocus::compute(
+        ctx.dataset,
+        collab,
+        Family::Dirtjumper,
+        Family::Pandora,
+    ))
+}
+
+fn pass_multistage(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Multistage(MultistageAnalysis::compute_ctx(ctx))
+}
+
+fn pass_activity(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Activity(activity_levels(ctx.dataset))
+}
+
+fn pass_recurrence(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Recurrence(RecurrenceAnalysis::compute_ctx(ctx))
+}
+
+fn pass_blacklist(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Blacklist(BlacklistSim::run_ctx(ctx))
+}
+
+fn pass_latency(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+    PassOutput::Latency(latency_sweep_from_durations(&ctx.durations, LATENCY_GRID_S))
+}
+
+/// Every pass of the report, in registry order. The only inter-pass
+/// dependency is `flagship_pair` → `collaborations`; everything else
+/// reads the context alone.
+pub const REGISTRY: &[PassSpec] = &[
+    PassSpec {
+        name: "protocols",
+        deps: &[],
+        run: pass_protocols,
+    },
+    PassSpec {
+        name: "protocol_rows",
+        deps: &[],
+        run: pass_protocol_rows,
+    },
+    PassSpec {
+        name: "summary",
+        deps: &[],
+        run: pass_summary,
+    },
+    PassSpec {
+        name: "daily",
+        deps: &[],
+        run: pass_daily,
+    },
+    PassSpec {
+        name: "interval_stats",
+        deps: &[],
+        run: pass_interval_stats,
+    },
+    PassSpec {
+        name: "all_interval_stats",
+        deps: &[],
+        run: pass_all_interval_stats,
+    },
+    PassSpec {
+        name: "concurrency",
+        deps: &[],
+        run: pass_concurrency,
+    },
+    PassSpec {
+        name: "durations",
+        deps: &[],
+        run: pass_durations,
+    },
+    PassSpec {
+        name: "shifts",
+        deps: &[],
+        run: pass_shifts,
+    },
+    PassSpec {
+        name: "dispersion",
+        deps: &[],
+        run: pass_dispersion,
+    },
+    PassSpec {
+        name: "prediction",
+        deps: &[],
+        run: pass_prediction,
+    },
+    PassSpec {
+        name: "target_countries",
+        deps: &[],
+        run: pass_target_countries,
+    },
+    PassSpec {
+        name: "overall_targets",
+        deps: &[],
+        run: pass_overall_targets,
+    },
+    PassSpec {
+        name: "collaborations",
+        deps: &[],
+        run: pass_collaborations,
+    },
+    PassSpec {
+        name: "flagship_pair",
+        deps: &["collaborations"],
+        run: pass_flagship_pair,
+    },
+    PassSpec {
+        name: "multistage",
+        deps: &[],
+        run: pass_multistage,
+    },
+    PassSpec {
+        name: "activity",
+        deps: &[],
+        run: pass_activity,
+    },
+    PassSpec {
+        name: "recurrence",
+        deps: &[],
+        run: pass_recurrence,
+    },
+    PassSpec {
+        name: "blacklist",
+        deps: &[],
+        run: pass_blacklist,
+    },
+    PassSpec {
+        name: "latency",
+        deps: &[],
+        run: pass_latency,
+    },
+];
+
+fn run_timed(
+    pass: &'static PassSpec,
+    ctx: &AnalysisContext,
+    partial: &PartialReport,
+) -> (&'static str, PassOutput, u128) {
+    let t0 = Instant::now();
+    let out = (pass.run)(ctx, partial);
+    (pass.name, out, t0.elapsed().as_micros())
+}
+
+/// Runs the whole registry against a context.
+///
+/// Passes are grouped into stages: a stage holds every not-yet-run pass
+/// whose dependencies have all finished. With `parallel` set, the passes
+/// of a stage run on scoped threads ([`crossbeam::thread::scope`]);
+/// results are joined in registry order, so the assembled report — and
+/// even the order of the returned timings — does not depend on thread
+/// interleaving. Serial execution is the fallback and runs the exact
+/// same functions in the exact same order.
+pub fn execute(ctx: &AnalysisContext, parallel: bool) -> (PartialReport, Vec<PassTiming>) {
+    let mut partial = PartialReport::default();
+    let mut timings = Vec::with_capacity(REGISTRY.len());
+    let mut done: HashSet<&'static str> = HashSet::new();
+    let mut remaining: Vec<&'static PassSpec> = REGISTRY.iter().collect();
+    while !remaining.is_empty() {
+        let (stage, rest): (Vec<_>, Vec<_>) = remaining
+            .into_iter()
+            .partition(|p| p.deps.iter().all(|d| done.contains(d)));
+        assert!(
+            !stage.is_empty(),
+            "pass registry has a dependency cycle or an unknown dep name"
+        );
+        remaining = rest;
+        let results: Vec<(&'static str, PassOutput, u128)> = if parallel && stage.len() > 1 {
+            let partial_ref = &partial;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = stage
+                    .iter()
+                    .map(|&p| scope.spawn(move |_| run_timed(p, ctx, partial_ref)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("analysis pass panicked"))
+                    .collect()
+            })
+            .expect("analysis pass scope panicked")
+        } else {
+            stage.iter().map(|&p| run_timed(p, ctx, &partial)).collect()
+        };
+        for (name, out, micros) in results {
+            partial.apply(out);
+            timings.push(PassTiming { name, micros });
+            done.insert(name);
+        }
+    }
+    (partial, timings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overview::test_support::{attack, dataset};
+
+    #[test]
+    fn registry_names_are_unique_and_deps_resolve() {
+        let names: HashSet<&str> = REGISTRY.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), REGISTRY.len());
+        for p in REGISTRY {
+            for d in p.deps {
+                assert!(names.contains(d), "{}: unknown dep {d}", p.name);
+                assert_ne!(*d, p.name, "{} depends on itself", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn execute_fills_every_slot() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Pandora, 2, 120, 700, 1),
+        ]);
+        let ctx = AnalysisContext::new(&ds);
+        for parallel in [false, true] {
+            let (partial, timings) = execute(&ctx, parallel);
+            assert_eq!(timings.len(), REGISTRY.len());
+            assert!(partial.protocols.is_some());
+            assert!(partial.flagship_pair.is_some());
+            assert!(partial.latency.is_some());
+            // flagship_pair must run after collaborations.
+            let pos = |n: &str| timings.iter().position(|t| t.name == n).unwrap();
+            assert!(pos("flagship_pair") > pos("collaborations"));
+        }
+    }
+
+    #[test]
+    fn timings_render_mentions_every_pass() {
+        let t = PassTimings {
+            context_micros: 1,
+            passes: vec![PassTiming {
+                name: "protocols",
+                micros: 2,
+            }],
+            total_micros: 3,
+            parallel: true,
+        };
+        let s = t.render();
+        assert!(s.contains("protocols"));
+        assert!(s.contains("context"));
+        assert!(s.contains("parallel"));
+        assert_eq!(t.slowest().unwrap().name, "protocols");
+    }
+}

@@ -1,5 +1,15 @@
 //! The one-call analysis pipeline: everything the paper reports, from
 //! one dataset.
+//!
+//! [`AnalysisReport::run`] is a thin driver over the pass-based
+//! pipeline: it builds the shared [`AnalysisContext`] once, executes the
+//! [`crate::passes::REGISTRY`] through the dependency-aware scheduler
+//! (in parallel by default), and assembles the report from the pass
+//! outputs. [`AnalysisReport::run_baseline`] preserves the original
+//! monolithic path — every analysis rescanning the dataset for itself —
+//! as the reference for equivalence tests and the pipeline benchmark.
+
+use std::time::Instant;
 
 use ddos_schema::{Dataset, Family};
 use ddos_stats::ArimaSpec;
@@ -7,12 +17,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::collab::concurrent::{CollabAnalysis, PairFocus};
 use crate::collab::multistage::MultistageAnalysis;
+use crate::context::AnalysisContext;
 use crate::defense::{detection_latency_sweep, BlacklistSim, LatencyPoint};
 use crate::overview::activity::{activity_levels, FamilyActivity};
 use crate::overview::daily::DailyDistribution;
 use crate::overview::duration::DurationAnalysis;
 use crate::overview::intervals::{self, ConcurrencyAnalysis, IntervalStats};
 use crate::overview::protocols::{protocol_preferences, ProtocolFamilyRow, ProtocolPopularity};
+use crate::passes::{self, PartialReport, PassTimings, LATENCY_GRID_S};
 use crate::source::dispersion::{qualifying_families, FamilyDispersion};
 use crate::source::prediction::PredictionAnalysis;
 use crate::source::shift::ShiftAnalysis;
@@ -20,6 +32,25 @@ use crate::summary::SummaryComparison;
 use crate::target::country::{all_profiles, overall_top_countries, FamilyCountryProfile};
 use crate::target::recurrence::RecurrenceAnalysis;
 use crate::util::BotIndex;
+
+/// How to run the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// ARIMA order for the prediction pass.
+    pub spec: ArimaSpec,
+    /// Run independent passes on scoped threads. The serialized report
+    /// is byte-identical either way; only wall-clock differs.
+    pub parallel: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            spec: ArimaSpec::DEFAULT,
+            parallel: true,
+        }
+    }
+}
 
 /// Every analysis of the paper, computed over one trace.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -65,6 +96,11 @@ pub struct AnalysisReport {
     pub blacklist: BlacklistSim,
     /// §III-D — detection-latency sweep (1 min, 10 min, 1 h, 4 h, 1 day).
     pub latency: Vec<LatencyPoint>,
+    /// Wall-clock breakdown of the run (machine-dependent metadata —
+    /// never serialized, so parallel and serial reports stay
+    /// byte-identical).
+    #[serde(skip)]
+    pub timings: PassTimings,
 }
 
 impl AnalysisReport {
@@ -75,6 +111,38 @@ impl AnalysisReport {
 
     /// Runs the full pipeline with a chosen ARIMA order.
     pub fn run_with(ds: &Dataset, spec: ArimaSpec) -> AnalysisReport {
+        Self::run_opts(
+            ds,
+            PipelineOptions {
+                spec,
+                ..PipelineOptions::default()
+            },
+        )
+    }
+
+    /// Runs the pass-based pipeline with explicit options.
+    pub fn run_opts(ds: &Dataset, opts: PipelineOptions) -> AnalysisReport {
+        let t0 = Instant::now();
+        let ctx = AnalysisContext::build(ds, opts.spec);
+        let context_micros = t0.elapsed().as_micros();
+        let (partial, pass_timings) = passes::execute(&ctx, opts.parallel);
+        let mut report = assemble(partial);
+        report.timings = PassTimings {
+            context_micros,
+            passes: pass_timings,
+            total_micros: t0.elapsed().as_micros(),
+            parallel: opts.parallel,
+        };
+        report
+    }
+
+    /// The pre-refactor monolithic pipeline: every analysis rescans the
+    /// dataset for itself (the dispersion join runs twice, the shift
+    /// join a third time, four analyses regroup the per-target index).
+    /// Kept as the reference implementation — the equivalence tests
+    /// assert the pass-based pipeline serializes identically, and the
+    /// `repro --pipeline-bench` flag measures the speedup against it.
+    pub fn run_baseline(ds: &Dataset, spec: ArimaSpec) -> AnalysisReport {
         let bots = BotIndex::build(ds);
         let collaborations = CollabAnalysis::compute(ds);
         let flagship_pair =
@@ -105,11 +173,44 @@ impl AnalysisReport {
             activity: activity_levels(ds),
             recurrence: RecurrenceAnalysis::compute(ds, None),
             blacklist: BlacklistSim::run(ds),
-            latency: detection_latency_sweep(
-                ds,
-                &[60.0, 600.0, 3_600.0, 4.0 * 3_600.0, 86_400.0],
-            ),
+            latency: detection_latency_sweep(ds, LATENCY_GRID_S),
+            timings: PassTimings::default(),
         }
+    }
+}
+
+/// Assembles the report from a completed pass run. Panics if a slot was
+/// never filled — the registry test guards against that.
+fn assemble(partial: PartialReport) -> AnalysisReport {
+    macro_rules! take {
+        ($field:ident) => {
+            partial
+                .$field
+                .expect(concat!("pass left report slot empty: ", stringify!($field)))
+        };
+    }
+    AnalysisReport {
+        protocols: take!(protocols),
+        protocol_rows: take!(protocol_rows),
+        summary: take!(summary),
+        daily: take!(daily),
+        interval_stats: take!(interval_stats),
+        all_interval_stats: take!(all_interval_stats),
+        concurrency: take!(concurrency),
+        durations: take!(durations),
+        shifts: take!(shifts),
+        dispersion: take!(dispersion),
+        prediction: take!(prediction),
+        target_countries: take!(target_countries),
+        overall_targets: take!(overall_targets),
+        collaborations: take!(collaborations),
+        flagship_pair: take!(flagship_pair),
+        multistage: take!(multistage),
+        activity: take!(activity),
+        recurrence: take!(recurrence),
+        blacklist: take!(blacklist),
+        latency: take!(latency),
+        timings: PassTimings::default(),
     }
 }
 
@@ -145,6 +246,9 @@ mod tests {
             .find(|&&(f, _)| f == Family::Nitol)
             .unwrap();
         assert!(nitol.1.is_none());
+        // The run carries its timing breakdown.
+        assert_eq!(r.timings.passes.len(), passes::REGISTRY.len());
+        assert!(r.timings.parallel);
     }
 
     #[test]
@@ -160,5 +264,34 @@ mod tests {
         assert!(r.dispersion.is_empty());
         assert!(r.prediction.rows.is_empty());
         assert!(r.multistage.chains.is_empty());
+    }
+
+    #[test]
+    fn parallel_serial_and_baseline_agree_on_a_tiny_dataset() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Dirtjumper, 2, 100, 650, 1),
+            attack(Family::Pandora, 3, 120, 700, 1),
+            attack(Family::Pandora, 4, 760, 60, 1),
+            attack(Family::Pandora, 5, 1_500, 60, 1),
+            attack(Family::Pandora, 6, 2_400, 60, 1),
+            attack(Family::Dirtjumper, 7, 5_000, 900, 2),
+        ]);
+        let parallel = AnalysisReport::run_opts(&ds, PipelineOptions::default());
+        let serial = AnalysisReport::run_opts(
+            &ds,
+            PipelineOptions {
+                parallel: false,
+                ..PipelineOptions::default()
+            },
+        );
+        let baseline = AnalysisReport::run_baseline(&ds, ArimaSpec::DEFAULT);
+        let json = |r: &AnalysisReport| serde_json::to_string(r).unwrap();
+        assert_eq!(json(&parallel), json(&serial));
+        assert_eq!(json(&parallel), json(&baseline));
+        // Timings are metadata: excluded from serialization.
+        assert!(!json(&parallel).contains("timings"));
+        assert!(!serial.timings.parallel);
+        assert_eq!(baseline.timings, PassTimings::default());
     }
 }

@@ -120,14 +120,24 @@ pub fn qualifying_families(ds: &Dataset, bots: &BotIndex) -> Vec<FamilyDispersio
         .collect()
 }
 
+/// Context-based variant of [`qualifying_families`]: the per-family
+/// series were already built during context construction (sharing its
+/// single geolocation join), so this only filters and clones.
+pub fn qualifying_families_ctx(ctx: &crate::context::AnalysisContext) -> Vec<FamilyDispersion> {
+    ctx.families()
+        .iter()
+        .map(|fc| &fc.dispersion)
+        .filter(|d| d.qualifies_for_cdf())
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::overview::test_support::{attack, dataset, window};
     use ddos_schema::record::{BotRecord, Location};
-    use ddos_schema::{
-        Asn, BotnetId, CityId, DatasetBuilder, IpAddr4, LatLon, OrgId,
-    };
+    use ddos_schema::{Asn, BotnetId, CityId, DatasetBuilder, IpAddr4, LatLon, OrgId};
 
     fn bot(ip: u8, lat: f64, lon: f64) -> BotRecord {
         BotRecord {

@@ -85,6 +85,21 @@ impl PredictionAnalysis {
         PredictionAnalysis { rows, excluded }
     }
 
+    /// Context-based variant of [`PredictionAnalysis::compute`]: reads
+    /// each family's dispersion series from the context instead of
+    /// recomputing the geolocation join a second time.
+    pub fn compute_ctx(ctx: &crate::context::AnalysisContext) -> PredictionAnalysis {
+        let mut rows = Vec::new();
+        let mut excluded = Vec::new();
+        for fc in ctx.families() {
+            match fit_dispersion(&fc.dispersion, ctx.spec) {
+                Ok(row) => rows.push(row),
+                Err(reason) => excluded.push((fc.family, reason)),
+            }
+        }
+        PredictionAnalysis { rows, excluded }
+    }
+
     /// The row of one family, if it qualified.
     pub fn row(&self, family: Family) -> Option<&FamilyPrediction> {
         self.rows.iter().find(|r| r.family == family)
@@ -98,7 +113,15 @@ pub fn predict_family(
     family: Family,
     spec: ArimaSpec,
 ) -> Result<FamilyPrediction, Exclusion> {
-    let dispersion = FamilyDispersion::compute(ds, bots, family);
+    fit_dispersion(&FamilyDispersion::compute(ds, bots, family), spec)
+}
+
+/// The gates and fit of the Table IV protocol, given a family's
+/// (already computed) dispersion series.
+fn fit_dispersion(
+    dispersion: &FamilyDispersion,
+    spec: ArimaSpec,
+) -> Result<FamilyPrediction, Exclusion> {
     if dispersion.active_days < MIN_ACTIVE_DAYS {
         return Err(Exclusion::TooFewActiveDays {
             got: dispersion.active_days,
@@ -108,10 +131,10 @@ pub fn predict_family(
     if series.len() < MIN_SERIES_LEN {
         return Err(Exclusion::SeriesTooShort { got: series.len() });
     }
-    let forecast = split_forecast(&series, spec, Some(MAX_EVAL_POINTS))
-        .map_err(|_| Exclusion::FitFailed)?;
+    let forecast =
+        split_forecast(&series, spec, Some(MAX_EVAL_POINTS)).map_err(|_| Exclusion::FitFailed)?;
     Ok(FamilyPrediction {
-        family,
+        family: dispersion.family,
         spec,
         forecast,
     })
@@ -205,7 +228,11 @@ mod tests {
         let idx = BotIndex::build(&ds);
         let d = FamilyDispersion::compute(&ds, &idx, Family::Pandora);
         // The alternating mixes are asymmetric: the series is long.
-        assert!(d.asymmetric_values().len() >= 700, "{}", d.asymmetric_values().len());
+        assert!(
+            d.asymmetric_values().len() >= 700,
+            "{}",
+            d.asymmetric_values().len()
+        );
     }
 
     #[test]

@@ -39,17 +39,7 @@ impl ShiftAnalysis {
     pub fn compute(ds: &Dataset, bots: &BotIndex) -> ShiftAnalysis {
         let window = ds.window();
         let num_weeks = window.num_weeks();
-        let mut weeks = vec![
-            WeekShift {
-                week: 0,
-                existing_country_bots: 0,
-                new_country_bots: 0,
-            };
-            num_weeks
-        ];
-        for (w, slot) in weeks.iter_mut().enumerate() {
-            slot.week = w;
-        }
+        let mut weeks = Self::empty_weeks(num_weeks);
 
         for family in Family::ACTIVE {
             // Distinct bots per week, with their countries.
@@ -64,24 +54,58 @@ impl ShiftAnalysis {
                     }
                 }
             }
-            let mut seen: HashSet<CountryCode> = HashSet::new();
-            for (w, bots_this_week) in weekly.iter().enumerate() {
-                let fresh: HashSet<CountryCode> = bots_this_week
-                    .values()
-                    .copied()
-                    .filter(|cc| !seen.contains(cc))
-                    .collect();
-                for cc in bots_this_week.values() {
-                    if fresh.contains(cc) {
-                        weeks[w].new_country_bots += 1;
-                    } else {
-                        weeks[w].existing_country_bots += 1;
-                    }
-                }
-                seen.extend(bots_this_week.values().copied());
-            }
+            Self::classify_family(&mut weeks, &weekly);
         }
         ShiftAnalysis { weeks }
+    }
+
+    /// Context-based variant of [`ShiftAnalysis::compute`]: consumes the
+    /// weekly bot maps already built (from the context's single
+    /// geolocation join) instead of resolving every attack source again.
+    pub fn compute_ctx(ctx: &crate::context::AnalysisContext) -> ShiftAnalysis {
+        let num_weeks = ctx.dataset.window().num_weeks();
+        let mut weeks = Self::empty_weeks(num_weeks);
+        for fc in ctx.families() {
+            Self::classify_family(&mut weeks, &fc.weekly_bots);
+        }
+        ShiftAnalysis { weeks }
+    }
+
+    fn empty_weeks(num_weeks: usize) -> Vec<WeekShift> {
+        (0..num_weeks)
+            .map(|week| WeekShift {
+                week,
+                existing_country_bots: 0,
+                new_country_bots: 0,
+            })
+            .collect()
+    }
+
+    /// Classifies one family's weekly bot populations into existing- vs
+    /// new-country shifts and accumulates the counts. Per-bot counts
+    /// depend only on the *set* of countries seen so far, so map
+    /// iteration order (and therefore the caller's choice of hasher)
+    /// cannot affect the result.
+    fn classify_family<S: std::hash::BuildHasher>(
+        weeks: &mut [WeekShift],
+        weekly: &[HashMap<IpAddr4, CountryCode, S>],
+    ) {
+        let mut seen: HashSet<CountryCode> = HashSet::new();
+        for (w, bots_this_week) in weekly.iter().enumerate() {
+            let fresh: HashSet<CountryCode> = bots_this_week
+                .values()
+                .copied()
+                .filter(|cc| !seen.contains(cc))
+                .collect();
+            for cc in bots_this_week.values() {
+                if fresh.contains(cc) {
+                    weeks[w].new_country_bots += 1;
+                } else {
+                    weeks[w].existing_country_bots += 1;
+                }
+            }
+            seen.extend(bots_this_week.values().copied());
+        }
     }
 
     /// Total bots that shifted within existing countries across the

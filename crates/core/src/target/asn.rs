@@ -1,0 +1,132 @@
+//! AS-level victim pressure — the paper's "1260 victim ASes".
+//!
+//! Groups every attack by the target's autonomous system and ranks the
+//! ASes by how much attack traffic they absorb. `contested` ASes are
+//! those attacked by two or more different families.
+
+use std::collections::{HashMap, HashSet};
+
+use ddos_schema::{Asn, Dataset, Family, IpAddr4, Timestamp};
+
+/// Attack pressure on one autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsnPressure {
+    /// The autonomous system.
+    pub asn: Asn,
+    /// Attacks targeting the AS.
+    pub attacks: usize,
+    /// Distinct victim IPs inside the AS.
+    pub targets: usize,
+    /// Families attacking the AS, in first-seen order.
+    pub families: Vec<Family>,
+}
+
+/// AS-level pressure ranking over the whole dataset.
+#[derive(Debug, Clone)]
+pub struct AsnAnalysis {
+    /// Pressure rows sorted by attacks descending (ties broken by ASN).
+    pub pressure: Vec<AsnPressure>,
+}
+
+impl AsnAnalysis {
+    /// Groups attacks by victim AS, optionally restricted to attacks
+    /// starting in `[window.0, window.1)`.
+    pub fn compute(ds: &Dataset, window: Option<(Timestamp, Timestamp)>) -> AsnAnalysis {
+        struct Acc {
+            attacks: usize,
+            targets: HashSet<IpAddr4>,
+            families: Vec<Family>,
+        }
+        let mut groups: HashMap<Asn, Acc> = HashMap::new();
+        for atk in ds.attacks() {
+            if let Some((lo, hi)) = window {
+                if atk.start < lo || atk.start >= hi {
+                    continue;
+                }
+            }
+            let acc = groups.entry(atk.target.asn).or_insert_with(|| Acc {
+                attacks: 0,
+                targets: HashSet::new(),
+                families: Vec::new(),
+            });
+            acc.attacks += 1;
+            acc.targets.insert(atk.target_ip);
+            if !acc.families.contains(&atk.family) {
+                acc.families.push(atk.family);
+            }
+        }
+        let mut pressure: Vec<AsnPressure> = groups
+            .into_iter()
+            .map(|(asn, acc)| AsnPressure {
+                asn,
+                attacks: acc.attacks,
+                targets: acc.targets.len(),
+                families: acc.families,
+            })
+            .collect();
+        pressure.sort_by(|a, b| b.attacks.cmp(&a.attacks).then(a.asn.cmp(&b.asn)));
+        AsnAnalysis { pressure }
+    }
+
+    /// Number of distinct victim ASes.
+    pub fn distinct_asns(&self) -> usize {
+        self.pressure.len()
+    }
+
+    /// Fraction of all attacks absorbed by the `k` most-attacked ASes
+    /// (0.0 for an empty analysis).
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        let total: usize = self.pressure.iter().map(|p| p.attacks).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let top: usize = self.pressure.iter().take(k).map(|p| p.attacks).sum();
+        top as f64 / total as f64
+    }
+
+    /// ASes attacked by at least two different families.
+    pub fn contested(&self) -> impl Iterator<Item = &AsnPressure> {
+        self.pressure.iter().filter(|p| p.families.len() >= 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overview::test_support::{attack, dataset};
+
+    #[test]
+    fn covers_every_attack() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 60, 1),
+            attack(Family::Pandora, 2, 200, 60, 1),
+            attack(Family::Pandora, 3, 300, 60, 2),
+        ]);
+        let asn = AsnAnalysis::compute(&ds, None);
+        let total: usize = asn.pressure.iter().map(|p| p.attacks).sum();
+        assert_eq!(total, ds.len());
+        assert_eq!(asn.distinct_asns(), ds.summary().victims.asns);
+        assert_eq!(asn.top_k_share(usize::MAX), 1.0);
+        // test_support maps everything to one AS, hit by two families.
+        assert_eq!(asn.contested().count(), 1);
+    }
+
+    #[test]
+    fn shares_are_monotone_in_k() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 60, 1),
+            attack(Family::Pandora, 2, 200, 60, 2),
+        ]);
+        let asn = AsnAnalysis::compute(&ds, None);
+        assert!(asn.top_k_share(1) <= asn.top_k_share(2));
+        assert_eq!(asn.top_k_share(0), 0.0);
+    }
+
+    #[test]
+    fn empty_analysis() {
+        let asn = AsnAnalysis::compute(&dataset(vec![]), None);
+        assert_eq!(asn.distinct_asns(), 0);
+        assert_eq!(asn.top_k_share(5), 0.0);
+        assert_eq!(asn.contested().count(), 0);
+    }
+}

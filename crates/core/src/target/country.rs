@@ -1,0 +1,117 @@
+//! Table V — country-level victim preferences per family.
+//!
+//! The paper observes that each botnet family concentrates on a small
+//! set of countries (Dirtjumper on the US, Nitol and Darkshell on
+//! China, ...). A profile counts attacks by the target's country and
+//! ranks the result.
+
+use std::collections::HashMap;
+
+use ddos_schema::{CountryCode, Dataset, Family};
+use serde::{Deserialize, Serialize};
+
+/// One family's victim-country ranking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyCountryProfile {
+    /// The attacking family.
+    pub family: Family,
+    /// `(country, attacks)` sorted by attacks descending (ties broken by
+    /// country code so the ranking is deterministic).
+    pub by_country: Vec<(CountryCode, usize)>,
+    /// Number of distinct victim countries.
+    pub countries: usize,
+}
+
+impl FamilyCountryProfile {
+    /// Counts this family's attacks per victim country.
+    pub fn compute(ds: &Dataset, family: Family) -> FamilyCountryProfile {
+        let mut counts: HashMap<CountryCode, usize> = HashMap::new();
+        for atk in ds.attacks() {
+            if atk.family == family {
+                *counts.entry(atk.target.country).or_insert(0) += 1;
+            }
+        }
+        let by_country = rank(counts);
+        FamilyCountryProfile {
+            family,
+            countries: by_country.len(),
+            by_country,
+        }
+    }
+
+    /// The family's most-attacked country, if it attacked at all.
+    pub fn favourite(&self) -> Option<CountryCode> {
+        self.by_country.first().map(|&(cc, _)| cc)
+    }
+
+    /// The top `k` countries (fewer if the family hit fewer).
+    pub fn top(&self, k: usize) -> &[(CountryCode, usize)] {
+        &self.by_country[..k.min(self.by_country.len())]
+    }
+}
+
+/// Table V for every active family, in `Family::ACTIVE` order.
+pub fn all_profiles(ds: &Dataset) -> Vec<FamilyCountryProfile> {
+    Family::ACTIVE
+        .into_iter()
+        .map(|family| FamilyCountryProfile::compute(ds, family))
+        .collect()
+}
+
+/// The overall top `k` victim countries across every family.
+pub fn overall_top_countries(ds: &Dataset, k: usize) -> Vec<(CountryCode, usize)> {
+    let mut counts: HashMap<CountryCode, usize> = HashMap::new();
+    for atk in ds.attacks() {
+        *counts.entry(atk.target.country).or_insert(0) += 1;
+    }
+    let mut ranked = rank(counts);
+    ranked.truncate(k);
+    ranked
+}
+
+fn rank(counts: HashMap<CountryCode, usize>) -> Vec<(CountryCode, usize)> {
+    let mut ranked: Vec<(CountryCode, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overview::test_support::{attack, dataset};
+
+    #[test]
+    fn profile_counts_and_ranks() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 60, 1),
+            attack(Family::Dirtjumper, 2, 200, 60, 2),
+            attack(Family::Pandora, 3, 300, 60, 3),
+        ]);
+        let p = FamilyCountryProfile::compute(&ds, Family::Dirtjumper);
+        assert_eq!(p.by_country.iter().map(|&(_, n)| n).sum::<usize>(), 2);
+        assert_eq!(p.countries, p.by_country.len());
+        assert!(p.favourite().is_some());
+        assert!(p.top(1).len() == 1);
+
+        let empty = FamilyCountryProfile::compute(&ds, Family::Nitol);
+        assert!(empty.favourite().is_none());
+        assert!(empty.top(5).is_empty());
+    }
+
+    #[test]
+    fn overall_counts_every_attack() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 60, 1),
+            attack(Family::Pandora, 2, 200, 60, 1),
+        ]);
+        let top = overall_top_countries(&ds, 5);
+        assert_eq!(top.iter().map(|&(_, n)| n).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn profiles_cover_active_families() {
+        let ds = dataset(vec![attack(Family::Dirtjumper, 1, 100, 60, 1)]);
+        let profiles = all_profiles(&ds);
+        assert_eq!(profiles.len(), Family::ACTIVE.len());
+    }
+}

@@ -1,0 +1,12 @@
+//! §IV-B target analysis: who gets attacked, and how predictably.
+//!
+//! - [`country`] — Table V: per-family victim-country profiles.
+//! - [`organization`] — Fig. 14: organization-level hotspot markers.
+//! - [`asn`] — the "1260 victim ASes" breakdown and AS-level pressure.
+//! - [`recurrence`] — abstract finding 2: repeatedly-attacked targets
+//!   and next-attack start-time prediction.
+
+pub mod asn;
+pub mod country;
+pub mod organization;
+pub mod recurrence;

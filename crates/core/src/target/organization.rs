@@ -1,0 +1,141 @@
+//! Fig. 14 — organization-level victim hotspots.
+//!
+//! Each marker aggregates one victim organization: how many attacks it
+//! absorbed, how many distinct target IPs it exposed, and where on the
+//! map to draw it (mean of its targets' coordinates).
+
+use std::collections::{HashMap, HashSet};
+
+use ddos_schema::{Dataset, Family, IpAddr4, LatLon, OrgId, Timestamp};
+
+/// One victim organization on the map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrgMarker {
+    /// The organization.
+    pub org: OrgId,
+    /// Mean coordinates of the organization's attacked targets.
+    pub coords: LatLon,
+    /// Attacks against the organization.
+    pub attacks: usize,
+    /// Distinct target IPs inside the organization.
+    pub targets: usize,
+}
+
+/// Fig. 14 for one family: victim organizations ranked by attack count.
+#[derive(Debug, Clone)]
+pub struct OrgAnalysis {
+    /// Markers sorted by attacks descending (ties broken by org id).
+    pub markers: Vec<OrgMarker>,
+}
+
+impl OrgAnalysis {
+    /// Aggregates `family`'s attacks by victim organization, optionally
+    /// restricted to attacks starting in `[window.0, window.1)`.
+    pub fn compute(
+        ds: &Dataset,
+        family: Family,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> OrgAnalysis {
+        struct Acc {
+            lat_sum: f64,
+            lon_sum: f64,
+            attacks: usize,
+            targets: HashSet<IpAddr4>,
+        }
+        let mut groups: HashMap<OrgId, Acc> = HashMap::new();
+        for atk in ds.attacks() {
+            if atk.family != family {
+                continue;
+            }
+            if let Some((lo, hi)) = window {
+                if atk.start < lo || atk.start >= hi {
+                    continue;
+                }
+            }
+            let acc = groups.entry(atk.target.org).or_insert_with(|| Acc {
+                lat_sum: 0.0,
+                lon_sum: 0.0,
+                attacks: 0,
+                targets: HashSet::new(),
+            });
+            acc.lat_sum += atk.target.coords.lat;
+            acc.lon_sum += atk.target.coords.lon;
+            acc.attacks += 1;
+            acc.targets.insert(atk.target_ip);
+        }
+        let mut markers: Vec<OrgMarker> = groups
+            .into_iter()
+            .map(|(org, acc)| OrgMarker {
+                org,
+                coords: LatLon::new_unchecked(
+                    acc.lat_sum / acc.attacks as f64,
+                    acc.lon_sum / acc.attacks as f64,
+                ),
+                attacks: acc.attacks,
+                targets: acc.targets.len(),
+            })
+            .collect();
+        markers.sort_by(|a, b| b.attacks.cmp(&a.attacks).then(a.org.cmp(&b.org)));
+        OrgAnalysis { markers }
+    }
+
+    /// Number of distinct victim organizations.
+    pub fn organizations(&self) -> usize {
+        self.markers.len()
+    }
+}
+
+/// The active family attacking the widest set of organizations, with
+/// that organization count. Ties go to the earlier family in
+/// `Family::ACTIVE`.
+pub fn widest_presence(ds: &Dataset) -> Option<(Family, usize)> {
+    let mut orgs: HashMap<Family, HashSet<OrgId>> = HashMap::new();
+    for atk in ds.attacks() {
+        orgs.entry(atk.family).or_default().insert(atk.target.org);
+    }
+    Family::ACTIVE
+        .into_iter()
+        .map(|family| (family, orgs.get(&family).map_or(0, HashSet::len)))
+        .max_by_key(|&(family, n)| (n, std::cmp::Reverse(family)))
+        .filter(|&(_, n)| n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overview::test_support::{attack, dataset};
+
+    #[test]
+    fn groups_by_org_and_counts_targets() {
+        let ds = dataset(vec![
+            attack(Family::Pandora, 1, 100, 60, 1),
+            attack(Family::Pandora, 2, 200, 60, 1),
+            attack(Family::Pandora, 3, 300, 60, 2),
+            attack(Family::Dirtjumper, 4, 400, 60, 3),
+        ]);
+        let orgs = OrgAnalysis::compute(&ds, Family::Pandora, None);
+        // test_support locations all map to one org.
+        assert_eq!(orgs.organizations(), 1);
+        assert_eq!(orgs.markers[0].attacks, 3);
+        assert_eq!(orgs.markers[0].targets, 2);
+    }
+
+    #[test]
+    fn window_filters_by_start() {
+        let ds = dataset(vec![
+            attack(Family::Pandora, 1, 100, 60, 1),
+            attack(Family::Pandora, 2, 5_000, 60, 1),
+        ]);
+        let orgs =
+            OrgAnalysis::compute(&ds, Family::Pandora, Some((Timestamp(0), Timestamp(1_000))));
+        assert_eq!(orgs.markers[0].attacks, 1);
+    }
+
+    #[test]
+    fn widest_presence_needs_attacks() {
+        let empty = dataset(vec![]);
+        assert!(widest_presence(&empty).is_none());
+        let ds = dataset(vec![attack(Family::Dirtjumper, 1, 100, 60, 1)]);
+        assert_eq!(widest_presence(&ds), Some((Family::Dirtjumper, 1)));
+    }
+}

@@ -1,8 +1,50 @@
 //! Shared joins and helpers used across the analyses.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use ddos_schema::{CountryCode, Dataset, IpAddr4, LatLon};
+
+/// A hasher specialized for [`IpAddr4`] keys (a `u32` newtype): one
+/// Fibonacci multiply plus an xor-shift, instead of SipHash. The context
+/// build and the defense simulations perform millions of IP map
+/// operations per trace; HashDoS resistance buys nothing against a fixed
+/// research dataset, so they trade it for throughput.
+///
+/// Hash maps keyed this way have a different iteration order than
+/// SipHash maps — only use [`IpMap`]/[`IpSet`] where results are
+/// independent of iteration order (membership tests, or maps that get
+/// sorted before anything order-sensitive reads them).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IpHasher(u64);
+
+impl Hasher for IpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Mix the previous state in so composite keys still distribute.
+        let x = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 29);
+    }
+}
+
+/// Hash map keyed by [`IpAddr4`] using [`IpHasher`].
+pub type IpMap<V> = HashMap<IpAddr4, V, BuildHasherDefault<IpHasher>>;
+
+/// Hash set of [`IpAddr4`] using [`IpHasher`].
+pub type IpSet = HashSet<IpAddr4, BuildHasherDefault<IpHasher>>;
 
 /// The `Botlist` join: bot IP → (country, coordinates).
 ///
@@ -94,6 +136,33 @@ mod tests {
         assert!(idx.lookup(other).is_none());
         assert_eq!(idx.coords_of(&[ip, other]).len(), 1);
         assert_eq!(idx.countries_of(&[ip, other]), vec![cc]);
+    }
+
+    #[test]
+    fn ip_hasher_distributes_and_mixes_state() {
+        use std::hash::Hash;
+        // Same key → same hash; different keys → (here) different hashes.
+        let hash_of = |ip: IpAddr4| {
+            let mut h = IpHasher::default();
+            ip.hash(&mut h);
+            h.finish()
+        };
+        let a = IpAddr4::from_octets(203, 0, 113, 1);
+        let b = IpAddr4::from_octets(203, 0, 113, 2);
+        assert_eq!(hash_of(a), hash_of(a));
+        assert_ne!(hash_of(a), hash_of(b));
+
+        // The map behaves like a std map for membership.
+        let mut set = IpSet::default();
+        assert!(set.insert(a));
+        assert!(!set.insert(a));
+        assert!(set.contains(&a));
+        assert!(!set.contains(&b));
+        let mut map: IpMap<u32> = IpMap::default();
+        map.insert(a, 1);
+        map.insert(b, 2);
+        assert_eq!(map.get(&a), Some(&1));
+        assert_eq!(map.len(), 2);
     }
 
     #[test]

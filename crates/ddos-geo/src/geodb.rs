@@ -19,8 +19,8 @@
 use std::collections::HashMap;
 
 use ddos_schema::ip::Prefix;
-use ddos_schema::{Asn, CityId, CountryCode, IpAddr4, LatLon, OrgId};
 use ddos_schema::record::Location;
+use ddos_schema::{Asn, CityId, CountryCode, IpAddr4, LatLon, OrgId};
 use parking_lot::RwLock;
 
 use crate::country::{CountryInfo, COUNTRIES};
@@ -265,16 +265,10 @@ impl GeoDb {
                             u64::from(start) + size <= (1u64 << 32) - (1 << 28),
                             "address space exhausted; reduce GeoConfig scales"
                         );
-                        let prefix =
-                            Prefix::new(IpAddr4(start), len).expect("len within 0..=32");
+                        let prefix = Prefix::new(IpAddr4(start), len).expect("len within 0..=32");
                         next_block = u64::from(start) + size;
                         let asn = asns[rng.next_below(asns.len() as u64) as usize];
-                        ranges.push((
-                            prefix.first().value(),
-                            prefix.last().value(),
-                            org_id.0,
-                            asn,
-                        ));
+                        ranges.push((prefix.first().value(), prefix.last().value(), org_id.0, asn));
                         prefixes.push((prefix, asn));
                     }
                     orgs.push(OrgInfo {
@@ -525,7 +519,11 @@ mod tests {
         let db = small_db();
         for c in COUNTRIES {
             assert!(!db.cities_in(c.code).is_empty(), "{} has no cities", c.code);
-            assert!(db.orgs_in(c.code).next().is_some(), "{} has no orgs", c.code);
+            assert!(
+                db.orgs_in(c.code).next().is_some(),
+                "{} has no orgs",
+                c.code
+            );
         }
     }
 

@@ -45,8 +45,9 @@ pub fn destination(origin: LatLon, bearing_deg: f64, distance_km: f64) -> LatLon
     let delta = distance_km / EARTH_RADIUS_KM;
     let theta = bearing_deg.to_radians();
     let (lat1, lon1) = (origin.lat_rad(), origin.lon_rad());
-    let lat2 =
-        (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).clamp(-1.0, 1.0).asin();
+    let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos())
+        .clamp(-1.0, 1.0)
+        .asin();
     let lon2 = lon1
         + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
     // Normalize longitude to [-180, 180].

@@ -19,21 +19,21 @@ macro_rules! prefix {
 
 /// Special-use ranges excluded from allocation (RFC 6890 and friends).
 pub const RESERVED: &[Prefix] = &[
-    prefix!(0, 0, 0, 0, 8),        // "this network"
-    prefix!(10, 0, 0, 0, 8),       // private
-    prefix!(100, 64, 0, 0, 10),    // carrier-grade NAT
-    prefix!(127, 0, 0, 0, 8),      // loopback
-    prefix!(169, 254, 0, 0, 16),   // link local
-    prefix!(172, 16, 0, 0, 12),    // private
-    prefix!(192, 0, 0, 0, 24),     // IETF protocol assignments
-    prefix!(192, 0, 2, 0, 24),     // TEST-NET-1
-    prefix!(192, 88, 99, 0, 24),   // 6to4 relay anycast
-    prefix!(192, 168, 0, 0, 16),   // private
-    prefix!(198, 18, 0, 0, 15),    // benchmarking
-    prefix!(198, 51, 100, 0, 24),  // TEST-NET-2
-    prefix!(203, 0, 113, 0, 24),   // TEST-NET-3
-    prefix!(224, 0, 0, 0, 4),      // multicast
-    prefix!(240, 0, 0, 0, 4),      // reserved / future use
+    prefix!(0, 0, 0, 0, 8),       // "this network"
+    prefix!(10, 0, 0, 0, 8),      // private
+    prefix!(100, 64, 0, 0, 10),   // carrier-grade NAT
+    prefix!(127, 0, 0, 0, 8),     // loopback
+    prefix!(169, 254, 0, 0, 16),  // link local
+    prefix!(172, 16, 0, 0, 12),   // private
+    prefix!(192, 0, 0, 0, 24),    // IETF protocol assignments
+    prefix!(192, 0, 2, 0, 24),    // TEST-NET-1
+    prefix!(192, 88, 99, 0, 24),  // 6to4 relay anycast
+    prefix!(192, 168, 0, 0, 16),  // private
+    prefix!(198, 18, 0, 0, 15),   // benchmarking
+    prefix!(198, 51, 100, 0, 24), // TEST-NET-2
+    prefix!(203, 0, 113, 0, 24),  // TEST-NET-3
+    prefix!(224, 0, 0, 0, 4),     // multicast
+    prefix!(240, 0, 0, 0, 4),     // reserved / future use
 ];
 
 /// Whether an address lies in any reserved range.
@@ -97,7 +97,10 @@ mod tests {
             (100, 64, 0, 1),
             (169, 254, 9, 9),
         ] {
-            assert!(is_reserved(IpAddr4::from_octets(a, b, c, d)), "{a}.{b}.{c}.{d}");
+            assert!(
+                is_reserved(IpAddr4::from_octets(a, b, c, d)),
+                "{a}.{b}.{c}.{d}"
+            );
         }
     }
 
@@ -112,7 +115,10 @@ mod tests {
             (11, 0, 0, 0),
             (223, 255, 255, 255),
         ] {
-            assert!(!is_reserved(IpAddr4::from_octets(a, b, c, d)), "{a}.{b}.{c}.{d}");
+            assert!(
+                !is_reserved(IpAddr4::from_octets(a, b, c, d)),
+                "{a}.{b}.{c}.{d}"
+            );
         }
     }
 
@@ -154,7 +160,11 @@ mod tests {
     #[test]
     fn reserved_list_is_well_formed() {
         for p in RESERVED {
-            assert_eq!(p.network.value() & !Prefix::mask(p.len), 0, "{p} has host bits");
+            assert_eq!(
+                p.network.value() & !Prefix::mask(p.len),
+                0,
+                "{p} has host bits"
+            );
         }
     }
 }

@@ -1,122 +1,9 @@
-//! Tiny deterministic PRNG for world synthesis.
+//! Deterministic PRNG for world synthesis — re-exported from
+//! `ddos_stats::rng`, the workspace's single pinned-algorithm RNG home.
 //!
 //! The geo database must be reproducible from a seed alone and must not
-//! change when the `rand` crate revs its algorithms, so we keep a local
-//! SplitMix64 — the standard 64-bit mixer from Vigna's `xorshift` paper —
-//! private to this crate. Trace-generation randomness (which wants richer
-//! distributions) lives in `ddos-stats`.
+//! change when the `rand` crate revs its algorithms; `ddos-stats` pins
+//! SplitMix64 (the standard 64-bit mixer from Vigna's `xorshift` paper)
+//! for exactly the same reason, so both crates share one implementation.
 
-/// SplitMix64 state.
-#[derive(Debug, Clone)]
-pub(crate) struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    /// Next raw 64-bit value.
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
-    pub(crate) fn next_below(&mut self, bound: u64) -> u64 {
-        debug_assert!(bound > 0);
-        // Multiply-shift bounded generation (Lemire); bias is negligible
-        // for our bounds (all far below 2^32).
-        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
-    }
-
-    /// Uniform float in `[0, 1)`.
-    pub(crate) fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform float in `[-1, 1)`.
-    #[cfg(test)]
-    pub(crate) fn next_signed_f64(&mut self) -> f64 {
-        self.next_f64() * 2.0 - 1.0
-    }
-}
-
-/// Stateless 64-bit mix of a key — used to derive stable per-entity jitter
-/// (e.g. an address's offset from its city centroid) without threading an
-/// RNG through lookups.
-pub(crate) fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Maps a mixed key to a float in `[0, 1)`.
-pub(crate) fn mix_f64(key: u64) -> f64 {
-    (mix64(key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_for_seed() {
-        let mut a = SplitMix64::new(7);
-        let mut b = SplitMix64::new(7);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
-
-    #[test]
-    fn different_seeds_diverge() {
-        let mut a = SplitMix64::new(1);
-        let mut b = SplitMix64::new(2);
-        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert_eq!(same, 0);
-    }
-
-    #[test]
-    fn next_below_respects_bound() {
-        let mut r = SplitMix64::new(42);
-        for bound in [1u64, 2, 3, 10, 1000] {
-            for _ in 0..200 {
-                assert!(r.next_below(bound) < bound);
-            }
-        }
-    }
-
-    #[test]
-    fn floats_in_unit_interval() {
-        let mut r = SplitMix64::new(3);
-        for _ in 0..1000 {
-            let f = r.next_f64();
-            assert!((0.0..1.0).contains(&f));
-            let s = r.next_signed_f64();
-            assert!((-1.0..1.0).contains(&s));
-        }
-    }
-
-    #[test]
-    fn mix_is_stable() {
-        assert_eq!(mix64(0), mix64(0));
-        assert_ne!(mix64(1), mix64(2));
-        assert!((0.0..1.0).contains(&mix_f64(123)));
-    }
-
-    #[test]
-    fn next_below_covers_small_ranges() {
-        let mut r = SplitMix64::new(11);
-        let mut seen = [false; 5];
-        for _ in 0..500 {
-            seen[r.next_below(5) as usize] = true;
-        }
-        assert!(seen.iter().all(|&s| s));
-    }
-}
+pub(crate) use ddos_stats::rng::{mix64, mix_f64, SplitMix64};

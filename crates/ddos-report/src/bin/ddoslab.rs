@@ -4,6 +4,7 @@
 //! ddoslab generate --scale 1.0 --seed 0xDD05EED --out trace.ddtl
 //! ddoslab analyze trace.ddtl            # full report to stdout
 //! ddoslab analyze trace.ddtl --json     # AnalysisReport as JSON
+//! ddoslab analyze trace.ddtl --timings  # also print per-pass timings
 //! ddoslab export-csv trace.ddtl out.csv # attack records as CSV
 //! ddoslab import-csv raw.csv out.ddtl   # CSV (optionally unmerged) -> trace
 //! ddoslab info trace.ddtl               # summary only
@@ -43,7 +44,7 @@ fn print_help() {
         "ddoslab — botnet DDoS trace workbench\n\n\
          USAGE:\n\
          \x20 ddoslab generate [--scale F] [--seed N] [--no-snapshots] --out FILE\n\
-         \x20 ddoslab analyze FILE [--json]\n\
+         \x20 ddoslab analyze FILE [--json] [--timings]\n\
          \x20 ddoslab export-csv FILE OUT.csv\n\
          \x20 ddoslab import-csv IN.csv OUT.ddtl [--merge-gap SECONDS]\n\
          \x20 ddoslab info FILE\n\n\
@@ -106,8 +107,12 @@ fn load(path: &str) -> Result<Dataset, String> {
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("analyze requires a trace file")?;
     let json = args.iter().any(|a| a == "--json");
+    let timings = args.iter().any(|a| a == "--timings");
     let ds = load(path)?;
     let report = AnalysisReport::run(&ds);
+    if timings {
+        eprintln!("{}", report.timings.render());
+    }
     if json {
         let body = serde_json::to_string_pretty(&report)
             .map_err(|e| format!("serializing report: {e}"))?;
@@ -140,10 +145,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     }
     println!("prediction (Table IV):");
     for row in &report.prediction.rows {
-        println!(
-            "  {}: cosine {:.3}",
-            row.family, row.forecast.eval.cosine
-        );
+        println!("  {}: cosine {:.3}", row.family, row.forecast.eval.cosine);
     }
     println!(
         "collaborations: {} pairs, {} events; {} chains (longest {})",
@@ -194,11 +196,9 @@ fn cmd_import_csv(args: &[String]) -> Result<(), String> {
     if merge_gap.get() > 0 {
         records = ddos_analytics::preprocess::merge_attack_records(records, merge_gap);
     }
-    let (start, end) = records
-        .iter()
-        .fold((i64::MAX, i64::MIN), |(s, e), a| {
-            (s.min(a.start.unix()), e.max(a.end.unix() + 1))
-        });
+    let (start, end) = records.iter().fold((i64::MAX, i64::MIN), |(s, e), a| {
+        (s.min(a.start.unix()), e.max(a.end.unix() + 1))
+    });
     let window = if records.is_empty() {
         Window::PAPER
     } else {
@@ -225,16 +225,26 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("{path}:");
     println!("  window     {} -> {}", ds.window().start, ds.window().end);
     println!("  attacks    {}", s.attacks);
-    println!("  botnets    {} attacking / {} recorded", s.botnets, ds.botnets().len());
+    println!(
+        "  botnets    {} attacking / {} recorded",
+        s.botnets,
+        ds.botnets().len()
+    );
     println!(
         "  attackers  {} IPs, {} cities, {} countries, {} orgs, {} ASNs",
-        s.attackers.ips, s.attackers.cities, s.attackers.countries,
-        s.attackers.organizations, s.attackers.asns
+        s.attackers.ips,
+        s.attackers.cities,
+        s.attackers.countries,
+        s.attackers.organizations,
+        s.attackers.asns
     );
     println!(
         "  victims    {} IPs, {} cities, {} countries, {} orgs, {} ASNs",
-        s.victims.ips, s.victims.cities, s.victims.countries,
-        s.victims.organizations, s.victims.asns
+        s.victims.ips,
+        s.victims.cities,
+        s.victims.countries,
+        s.victims.organizations,
+        s.victims.asns
     );
     println!("  snapshots  {} families", ds.snapshot_families().count());
     Ok(())

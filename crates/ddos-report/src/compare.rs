@@ -36,7 +36,11 @@ impl Comparison {
     /// zero paper value and non-zero measurement).
     pub fn relative_error(&self) -> f64 {
         if self.paper == 0.0 {
-            return if self.measured == 0.0 { 0.0 } else { f64::INFINITY };
+            return if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         (self.measured - self.paper).abs() / self.paper.abs()
     }
@@ -131,17 +135,67 @@ pub fn paper_comparisons(
     sections.push((
         "Table III — workload summary".to_string(),
         vec![
-            Comparison::new("attacker IPs", p.attackers.0 as f64, m.attackers.ips as f64, 0.10),
-            Comparison::new("attacker cities", p.attackers.1 as f64, m.attackers.cities as f64, 0.15),
-            Comparison::new("attacker countries", p.attackers.2 as f64, m.attackers.countries as f64, 0.10),
-            Comparison::new("attacker orgs", p.attackers.3 as f64, m.attackers.organizations as f64, 0.35),
-            Comparison::new("attacker ASNs", p.attackers.4 as f64, m.attackers.asns as f64, 0.35),
+            Comparison::new(
+                "attacker IPs",
+                p.attackers.0 as f64,
+                m.attackers.ips as f64,
+                0.10,
+            ),
+            Comparison::new(
+                "attacker cities",
+                p.attackers.1 as f64,
+                m.attackers.cities as f64,
+                0.15,
+            ),
+            Comparison::new(
+                "attacker countries",
+                p.attackers.2 as f64,
+                m.attackers.countries as f64,
+                0.10,
+            ),
+            Comparison::new(
+                "attacker orgs",
+                p.attackers.3 as f64,
+                m.attackers.organizations as f64,
+                0.35,
+            ),
+            Comparison::new(
+                "attacker ASNs",
+                p.attackers.4 as f64,
+                m.attackers.asns as f64,
+                0.35,
+            ),
             Comparison::new("victim IPs", p.victims.0 as f64, m.victims.ips as f64, 0.10),
-            Comparison::new("victim cities", p.victims.1 as f64, m.victims.cities as f64, 0.60),
-            Comparison::new("victim countries", p.victims.2 as f64, m.victims.countries as f64, 0.10),
-            Comparison::new("victim orgs", p.victims.3 as f64, m.victims.organizations as f64, 0.35),
-            Comparison::new("victim ASNs", p.victims.4 as f64, m.victims.asns as f64, 0.35),
-            Comparison::new("attacking botnet ids", p.botnets as f64, m.botnets as f64, 0.10),
+            Comparison::new(
+                "victim cities",
+                p.victims.1 as f64,
+                m.victims.cities as f64,
+                0.60,
+            ),
+            Comparison::new(
+                "victim countries",
+                p.victims.2 as f64,
+                m.victims.countries as f64,
+                0.10,
+            ),
+            Comparison::new(
+                "victim orgs",
+                p.victims.3 as f64,
+                m.victims.organizations as f64,
+                0.35,
+            ),
+            Comparison::new(
+                "victim ASNs",
+                p.victims.4 as f64,
+                m.victims.asns as f64,
+                0.35,
+            ),
+            Comparison::new(
+                "attacking botnet ids",
+                p.botnets as f64,
+                m.botnets as f64,
+                0.10,
+            ),
             Comparison::new("traffic types", 7.0, m.traffic_types as f64, 0.0),
         ],
     ));
@@ -171,7 +225,12 @@ pub fn paper_comparisons(
         sections.push((
             "Figs. 3–5 — attack intervals".to_string(),
             vec![
-                Comparison::new("concurrent interval fraction", 0.50, stats.concurrent_fraction, 0.12),
+                Comparison::new(
+                    "concurrent interval fraction",
+                    0.50,
+                    stats.concurrent_fraction,
+                    0.12,
+                ),
                 Comparison::new("interval p80 (s)", 1_081.0, stats.p80, 1.0),
                 Comparison::new("interval mean (s)", 3_060.0, stats.mean, 1.0),
             ],
@@ -241,7 +300,11 @@ pub fn paper_comparisons(
             ));
         }
     }
-    if let Some(dj) = report.dispersion.iter().find(|f| f.family == Family::Dirtjumper) {
+    if let Some(dj) = report
+        .dispersion
+        .iter()
+        .find(|f| f.family == Family::Dirtjumper)
+    {
         rows.push(Comparison::new(
             "dirtjumper symmetric fraction (Fig. 9 >0.4)",
             0.45,
@@ -338,7 +401,12 @@ pub fn paper_comparisons(
     let mut rows = Vec::new();
     for &(family, intra, inter) in crate::experiments::PAPER_TABLE_VI {
         if intra > 0 {
-            let measured = report.collaborations.intra_pairs.get(&family).copied().unwrap_or(0);
+            let measured = report
+                .collaborations
+                .intra_pairs
+                .get(&family)
+                .copied()
+                .unwrap_or(0);
             rows.push(Comparison::new(
                 format!("{family} intra-family pairs"),
                 intra as f64,
@@ -347,7 +415,12 @@ pub fn paper_comparisons(
             ));
         }
         if inter > 0 {
-            let measured = report.collaborations.inter_pairs.get(&family).copied().unwrap_or(0);
+            let measured = report
+                .collaborations
+                .inter_pairs
+                .get(&family)
+                .copied()
+                .unwrap_or(0);
             rows.push(Comparison::new(
                 format!("{family} inter-family pairs"),
                 inter as f64,
@@ -356,39 +429,96 @@ pub fn paper_comparisons(
             ));
         }
     }
-    if let Some(avg) = report.collaborations.mean_botnets_per_event(Family::Dirtjumper) {
+    if let Some(avg) = report
+        .collaborations
+        .mean_botnets_per_event(Family::Dirtjumper)
+    {
         rows.push(Comparison::new("dirtjumper botnets/event", 2.19, avg, 0.15));
     }
     sections.push(("Table VI / Fig. 15 — collaborations".to_string(), rows));
 
     let mut rows = Vec::new();
     if let Some(focus) = &report.flagship_pair {
-        rows.push(Comparison::new("dj×pandora unique targets", 96.0, focus.unique_targets as f64, 0.4));
+        rows.push(Comparison::new(
+            "dj×pandora unique targets",
+            96.0,
+            focus.unique_targets as f64,
+            0.4,
+        ));
         // Emergent spread of the shared pool; "tens of targets in
         // tens-of-countries minus a bit" is the shape claim.
-        rows.push(Comparison::new("dj×pandora countries", 16.0, focus.countries.len() as f64, 0.65));
-        rows.push(Comparison::new("dj×pandora orgs", 58.0, focus.organizations as f64, 0.5));
-        rows.push(Comparison::new("dj×pandora ASes", 61.0, focus.asns as f64, 0.5));
-        rows.push(Comparison::new("dirtjumper mean duration (s)", 5_083.0, focus.mean_duration_a, 0.4));
-        rows.push(Comparison::new("pandora mean duration (s)", 6_420.0, focus.mean_duration_b, 0.4));
+        rows.push(Comparison::new(
+            "dj×pandora countries",
+            16.0,
+            focus.countries.len() as f64,
+            0.65,
+        ));
+        rows.push(Comparison::new(
+            "dj×pandora orgs",
+            58.0,
+            focus.organizations as f64,
+            0.5,
+        ));
+        rows.push(Comparison::new(
+            "dj×pandora ASes",
+            61.0,
+            focus.asns as f64,
+            0.5,
+        ));
+        rows.push(Comparison::new(
+            "dirtjumper mean duration (s)",
+            5_083.0,
+            focus.mean_duration_a,
+            0.4,
+        ));
+        rows.push(Comparison::new(
+            "pandora mean duration (s)",
+            6_420.0,
+            focus.mean_duration_b,
+            0.4,
+        ));
     }
     sections.push(("Fig. 16 — Dirtjumper × Pandora".to_string(), rows));
 
     let mut rows = Vec::new();
     if let Some(cdf) = report.multistage.gap_cdf() {
-        rows.push(Comparison::new("chain gaps under 10 s", 0.65, cdf.eval(10.0), 0.20));
-        rows.push(Comparison::new("chain gaps under 30 s", 0.80, cdf.eval(30.0), 0.15));
+        rows.push(Comparison::new(
+            "chain gaps under 10 s",
+            0.65,
+            cdf.eval(10.0),
+            0.20,
+        ));
+        rows.push(Comparison::new(
+            "chain gaps under 30 s",
+            0.80,
+            cdf.eval(30.0),
+            0.15,
+        ));
     }
     if let Some(longest) = report.multistage.longest() {
-        rows.push(Comparison::new("longest chain links", 22.0, longest.len() as f64, 0.05));
+        rows.push(Comparison::new(
+            "longest chain links",
+            22.0,
+            longest.len() as f64,
+            0.05,
+        ));
         rows.push(Comparison::new(
             "longest chain is ddoser",
             1.0,
-            if longest.families == [Family::Ddoser] { 1.0 } else { 0.0 },
+            if longest.families == [Family::Ddoser] {
+                1.0
+            } else {
+                0.0
+            },
             0.0,
         ));
     }
-    let intra_chains = report.multistage.chains.iter().filter(|c| c.is_intra_family()).count();
+    let intra_chains = report
+        .multistage
+        .chains
+        .iter()
+        .filter(|c| c.is_intra_family())
+        .count();
     rows.push(Comparison::new(
         "intra-family chain fraction",
         1.0,
@@ -428,7 +558,14 @@ mod tests {
         let sections = paper_comparisons(&trace, &report);
         // Every major artifact family is represented.
         let titles: Vec<&str> = sections.iter().map(|(t, _)| t.as_str()).collect();
-        for needle in ["Table II", "Table III", "Table IV", "Table V", "Table VI", "Fig. 2"] {
+        for needle in [
+            "Table II",
+            "Table III",
+            "Table IV",
+            "Table V",
+            "Table VI",
+            "Fig. 2",
+        ] {
             assert!(
                 titles.iter().any(|t| t.contains(needle)),
                 "missing section {needle}: {titles:?}"

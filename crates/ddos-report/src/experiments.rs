@@ -264,19 +264,71 @@ fn t3_summary(_t: &GeneratedTrace, r: &AnalysisReport) -> String {
         "Table III - summary of the workload information",
         &["description", "measured", "paper"],
     );
-    t.row(&["attacker ips".to_string(), m.attackers.ips.to_string(), p.attackers.0.to_string()]);
-    t.row(&["attacker cities".to_string(), m.attackers.cities.to_string(), p.attackers.1.to_string()]);
-    t.row(&["attacker countries".to_string(), m.attackers.countries.to_string(), p.attackers.2.to_string()]);
-    t.row(&["attacker orgs".to_string(), m.attackers.organizations.to_string(), p.attackers.3.to_string()]);
-    t.row(&["attacker asns".to_string(), m.attackers.asns.to_string(), p.attackers.4.to_string()]);
-    t.row(&["victim ips".to_string(), m.victims.ips.to_string(), p.victims.0.to_string()]);
-    t.row(&["victim cities".to_string(), m.victims.cities.to_string(), p.victims.1.to_string()]);
-    t.row(&["victim countries".to_string(), m.victims.countries.to_string(), p.victims.2.to_string()]);
-    t.row(&["victim orgs".to_string(), m.victims.organizations.to_string(), p.victims.3.to_string()]);
-    t.row(&["victim asns".to_string(), m.victims.asns.to_string(), p.victims.4.to_string()]);
-    t.row(&["attacks (ddos_id)".to_string(), m.attacks.to_string(), p.attacks.to_string()]);
-    t.row(&["botnet_id (attacking)".to_string(), m.botnets.to_string(), p.botnets.to_string()]);
-    t.row(&["traffic types".to_string(), m.traffic_types.to_string(), p.traffic_types.to_string()]);
+    t.row(&[
+        "attacker ips".to_string(),
+        m.attackers.ips.to_string(),
+        p.attackers.0.to_string(),
+    ]);
+    t.row(&[
+        "attacker cities".to_string(),
+        m.attackers.cities.to_string(),
+        p.attackers.1.to_string(),
+    ]);
+    t.row(&[
+        "attacker countries".to_string(),
+        m.attackers.countries.to_string(),
+        p.attackers.2.to_string(),
+    ]);
+    t.row(&[
+        "attacker orgs".to_string(),
+        m.attackers.organizations.to_string(),
+        p.attackers.3.to_string(),
+    ]);
+    t.row(&[
+        "attacker asns".to_string(),
+        m.attackers.asns.to_string(),
+        p.attackers.4.to_string(),
+    ]);
+    t.row(&[
+        "victim ips".to_string(),
+        m.victims.ips.to_string(),
+        p.victims.0.to_string(),
+    ]);
+    t.row(&[
+        "victim cities".to_string(),
+        m.victims.cities.to_string(),
+        p.victims.1.to_string(),
+    ]);
+    t.row(&[
+        "victim countries".to_string(),
+        m.victims.countries.to_string(),
+        p.victims.2.to_string(),
+    ]);
+    t.row(&[
+        "victim orgs".to_string(),
+        m.victims.organizations.to_string(),
+        p.victims.3.to_string(),
+    ]);
+    t.row(&[
+        "victim asns".to_string(),
+        m.victims.asns.to_string(),
+        p.victims.4.to_string(),
+    ]);
+    t.row(&[
+        "attacks (ddos_id)".to_string(),
+        m.attacks.to_string(),
+        p.attacks.to_string(),
+    ]);
+    t.row(&[
+        "botnet_id (attacking)".to_string(),
+        m.botnets.to_string(),
+        p.botnets.to_string(),
+    ]);
+    t.row(&[
+        "traffic types".to_string(),
+        m.traffic_types.to_string(),
+        p.traffic_types.to_string(),
+    ]);
     t.render()
 }
 
@@ -327,15 +379,21 @@ fn t4_prediction(_t: &GeneratedTrace, r: &AnalysisReport) -> String {
     }
     let mut out = t.render();
     for row in &r.prediction.rows {
-        if let Some(lb) =
-            ddos_stats::timeseries::diagnostics::ljung_box(&row.forecast.errors, 20, row.spec.num_params())
-        {
+        if let Some(lb) = ddos_stats::timeseries::diagnostics::ljung_box(
+            &row.forecast.errors,
+            20,
+            row.spec.num_params(),
+        ) {
             out.push_str(&format!(
                 "# {} residual whiteness (Ljung-Box, 20 lags): Q={:.1}, p={:.3} -> {}\n",
                 row.family,
                 lb.statistic,
                 lb.p_value,
-                if lb.is_white(0.05) { "white (model captured the structure)" } else { "residual structure remains" }
+                if lb.is_white(0.05) {
+                    "white (model captured the structure)"
+                } else {
+                    "residual structure remains"
+                }
             ));
         }
     }
@@ -420,8 +478,18 @@ fn t6_collaboration(_t: &GeneratedTrace, r: &AnalysisReport) -> String {
         ],
     );
     for &(family, paper_intra, paper_inter) in PAPER_TABLE_VI {
-        let intra = r.collaborations.intra_pairs.get(&family).copied().unwrap_or(0);
-        let inter = r.collaborations.inter_pairs.get(&family).copied().unwrap_or(0);
+        let intra = r
+            .collaborations
+            .intra_pairs
+            .get(&family)
+            .copied()
+            .unwrap_or(0);
+        let inter = r
+            .collaborations
+            .inter_pairs
+            .get(&family)
+            .copied()
+            .unwrap_or(0);
         t.row(&[
             family.to_string(),
             intra.to_string(),
@@ -436,7 +504,10 @@ fn t6_collaboration(_t: &GeneratedTrace, r: &AnalysisReport) -> String {
 // --------------------------------------------------------------- figures
 
 fn f1_protocols(_t: &GeneratedTrace, r: &AnalysisReport) -> String {
-    let mut t = Table::new("Fig. 1 - popularity of attack types", &["protocol", "attacks"]);
+    let mut t = Table::new(
+        "Fig. 1 - popularity of attack types",
+        &["protocol", "attacks"],
+    );
     for &(p, n) in &r.protocols.counts {
         t.row(&[p.name().to_string(), n.to_string()]);
     }
@@ -535,7 +606,9 @@ fn f7_duration_cdf(_t: &GeneratedTrace, r: &AnalysisReport) -> String {
         return String::from("# no attacks\n");
     };
     let cdf = d.cdf();
-    let mut out = Series::new("duration_cdf", cdf.points()).downsample(400).render();
+    let mut out = Series::new("duration_cdf", cdf.points())
+        .downsample(400)
+        .render();
     out.push_str(&format!(
         "# p80 {:.0}s (paper 13882 ~ 4h); under 60s {:.3} (paper <0.10)\n",
         d.p80,
@@ -655,11 +728,17 @@ fn prediction_figure(_t: &GeneratedTrace, r: &AnalysisReport, family: Family) ->
         ) {
             blocks.push(Series::new(
                 "prediction_hist",
-                hp.centers().into_iter().map(|(c, n)| (c, n as f64)).collect(),
+                hp.centers()
+                    .into_iter()
+                    .map(|(c, n)| (c, n as f64))
+                    .collect(),
             ));
             blocks.push(Series::new(
                 "truth_hist",
-                ht.centers().into_iter().map(|(c, n)| (c, n as f64)).collect(),
+                ht.centers()
+                    .into_iter()
+                    .map(|(c, n)| (c, n as f64))
+                    .collect(),
             ));
         }
     }
@@ -780,7 +859,9 @@ fn f17_chain_gaps(_t: &GeneratedTrace, r: &AnalysisReport) -> String {
     let Some(cdf) = r.multistage.gap_cdf() else {
         return String::from("# no chains detected\n");
     };
-    let mut out = Series::new("chain_gap_cdf", cdf.points()).downsample(300).render();
+    let mut out = Series::new("chain_gap_cdf", cdf.points())
+        .downsample(300)
+        .render();
     out.push_str(&format!(
         "# under 10s: {:.3} (paper ~0.65); under 30s: {:.3} (paper ~0.80)\n",
         cdf.eval(10.0),
@@ -950,7 +1031,12 @@ fn x5_takedown(t: &GeneratedTrace, _r: &AnalysisReport) -> String {
     let steps = ddos_analytics::defense::takedown_priority(&t.dataset, &bots, 10);
     let mut table = Table::new(
         "Ext. 5 - country-prioritized takedown",
-        &["step", "country", "bots removed", "cumulative participation removed"],
+        &[
+            "step",
+            "country",
+            "bots removed",
+            "cumulative participation removed",
+        ],
     );
     for (i, s) in steps.iter().enumerate() {
         table.row(&[

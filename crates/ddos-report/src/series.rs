@@ -44,12 +44,7 @@ impl Series {
         }
         let stride = self.points.len().div_ceil(max);
         let last = *self.points.last().expect("non-empty");
-        self.points = self
-            .points
-            .iter()
-            .copied()
-            .step_by(stride)
-            .collect();
+        self.points = self.points.iter().copied().step_by(stride).collect();
         if self.points.last() != Some(&last) {
             self.points.push(last);
         }

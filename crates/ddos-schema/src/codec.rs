@@ -89,8 +89,8 @@ fn put_location(buf: &mut BytesMut, loc: &Location) {
 fn get_location(buf: &mut Bytes) -> Result<Location, SchemaError> {
     need(buf, 2, "country code")?;
     let (a, b) = (buf.get_u8(), buf.get_u8());
-    let country = CountryCode::new(a, b)
-        .map_err(|_| SchemaError::Codec("malformed country code".into()))?;
+    let country =
+        CountryCode::new(a, b).map_err(|_| SchemaError::Codec("malformed country code".into()))?;
     let city = CityId(get_varint(buf)? as u32);
     let org = OrgId(get_varint(buf)? as u32);
     let asn = Asn(get_varint(buf)? as u32);
@@ -252,7 +252,11 @@ fn get_snapshot(buf: &mut Bytes, family: Family) -> Result<HourlySnapshot, Schem
         let lon = buf.get_f64();
         let coords = LatLon::new(lat, lon)
             .map_err(|_| SchemaError::Codec("coordinates out of range".into()))?;
-        bots.push(BotPresence { ip, country, coords });
+        bots.push(BotPresence {
+            ip,
+            country,
+            coords,
+        });
     }
     Ok(HourlySnapshot {
         family,

@@ -83,8 +83,8 @@ pub fn attacks_from_csv(text: &str) -> Result<Vec<AttackRecord>, SchemaError> {
                 row.len()
             )));
         }
-        let attack = parse_row(&row)
-            .map_err(|e| SchemaError::Codec(format!("line {}: {e}", lineno + 2)))?;
+        let attack =
+            parse_row(&row).map_err(|e| SchemaError::Codec(format!("line {}: {e}", lineno + 2)))?;
         attack.validate()?;
         out.push(attack);
     }
@@ -173,11 +173,7 @@ mod tests {
     fn invalid_fields_are_rejected() {
         let a = attack(1, 100);
         let csv = attacks_to_csv([&a]);
-        for (from, to) in [
-            ("dirtjumper", "mirai"),
-            ("HTTP", "QUIC"),
-            ("US", "USA"),
-        ] {
+        for (from, to) in [("dirtjumper", "mirai"), ("HTTP", "QUIC"), ("US", "USA")] {
             let bad = csv.replacen(from, to, 1);
             assert!(attacks_from_csv(&bad).is_err(), "{from}->{to} accepted");
         }
@@ -197,10 +193,7 @@ mod tests {
         let csv = attacks_to_csv([&a]);
         // Blank the sources column.
         let line = csv.lines().nth(1).unwrap();
-        let blanked = format!(
-            "{HEADER}\n{},\n",
-            &line[..line.rfind(',').unwrap()]
-        );
+        let blanked = format!("{HEADER}\n{},\n", &line[..line.rfind(',').unwrap()]);
         assert!(attacks_from_csv(&blanked).is_err());
     }
 }

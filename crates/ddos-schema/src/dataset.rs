@@ -441,7 +441,9 @@ mod tests {
         assert_eq!(ds.attacks_between(Timestamp(101), Timestamp(500)).len(), 0);
         assert_eq!(ds.attacks_between(Timestamp(500), Timestamp(501)).len(), 2);
         assert_eq!(ds.attacks_between(Timestamp(0), Timestamp(10_000)).len(), 4);
-        assert!(ds.attacks_between(Timestamp(901), Timestamp(902)).is_empty());
+        assert!(ds
+            .attacks_between(Timestamp(901), Timestamp(902))
+            .is_empty());
     }
 
     #[test]

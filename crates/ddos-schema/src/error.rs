@@ -48,7 +48,10 @@ impl fmt::Display for SchemaError {
             SchemaError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
             SchemaError::Codec(msg) => write!(f, "codec error: {msg}"),
             SchemaError::UnsupportedVersion { found, supported } => {
-                write!(f, "unsupported trace version {found} (this build reads <= {supported})")
+                write!(
+                    f,
+                    "unsupported trace version {found} (this build reads <= {supported})"
+                )
             }
         }
     }

@@ -186,7 +186,10 @@ mod tests {
     #[test]
     fn parse_is_case_insensitive() {
         assert_eq!("DirtJumper".parse::<Family>().unwrap(), Family::Dirtjumper);
-        assert_eq!("BLACKENERGY".parse::<Family>().unwrap(), Family::Blackenergy);
+        assert_eq!(
+            "BLACKENERGY".parse::<Family>().unwrap(),
+            Family::Blackenergy
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl FromStr for IpAddr4 {
         if parts.next().is_some() {
             return Err(bad());
         }
-        Ok(IpAddr4::from_octets(octets[0], octets[1], octets[2], octets[3]))
+        Ok(IpAddr4::from_octets(
+            octets[0], octets[1], octets[2], octets[3],
+        ))
     }
 }
 

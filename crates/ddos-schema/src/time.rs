@@ -323,8 +323,8 @@ mod tests {
         let w = Window::PAPER;
         assert_eq!(w.num_days(), 207);
         assert_eq!(w.num_weeks(), 30); // 207/7 = 29.57 → 30 week buckets
-        // The paper rounds to "28 weeks" of full activity; our bucket count
-        // is the ceiling and is asserted explicitly so nobody "fixes" it.
+                                       // The paper rounds to "28 weeks" of full activity; our bucket count
+                                       // is the ceiling and is asserted explicitly so nobody "fixes" it.
         assert_eq!(w.length().get(), 207 * 86_400);
     }
 

@@ -123,7 +123,13 @@ pub const ACTIVE_FAMILIES: &[FamilyCalibration] = &[
             (Protocol::Icmp, 147),
             (Protocol::Syn, 31),
         ],
-        target_prefs: &[("NL", 949), ("US", 820), ("SG", 729), ("RU", 262), ("DE", 219)],
+        target_prefs: &[
+            ("NL", 949),
+            ("US", 820),
+            ("SG", 729),
+            ("RU", 262),
+            ("DE", 219),
+        ],
         target_countries: 20,
         botnets: 70,
         bot_pool: 45_000,
@@ -137,7 +143,13 @@ pub const ACTIVE_FAMILIES: &[FamilyCalibration] = &[
         // Intercontinental bot base (RU/UA plus US/SG/NL footholds):
         // multi-city draws span continents, hence the ~4,300 km
         // asymmetric-dispersion mean of Fig. 11.
-        home_countries: &[("RU", 4.0), ("UA", 2.0), ("US", 1.0), ("SG", 0.5), ("NL", 1.0)],
+        home_countries: &[
+            ("RU", 4.0),
+            ("UA", 2.0),
+            ("US", 1.0),
+            ("SG", 0.5),
+            ("NL", 1.0),
+        ],
         p_single_city: 0.895, // §IV-A: 89.5% symmetric
         max_cities: 3,
         stray_share: 0.10,
@@ -148,7 +160,13 @@ pub const ACTIVE_FAMILIES: &[FamilyCalibration] = &[
     FamilyCalibration {
         family: Family::Colddeath,
         protocol_counts: &[(Protocol::Http, 826)],
-        target_prefs: &[("IN", 801), ("PK", 345), ("BW", 125), ("TH", 117), ("ID", 112)],
+        target_prefs: &[
+            ("IN", 801),
+            ("PK", 345),
+            ("BW", 125),
+            ("TH", 117),
+            ("ID", 112),
+        ],
         target_countries: 16,
         botnets: 30,
         bot_pool: 12_000,
@@ -172,7 +190,13 @@ pub const ACTIVE_FAMILIES: &[FamilyCalibration] = &[
     FamilyCalibration {
         family: Family::Darkshell,
         protocol_counts: &[(Protocol::Http, 999), (Protocol::Undetermined, 1_530)],
-        target_prefs: &[("CN", 1_880), ("KR", 1_004), ("US", 694), ("HK", 385), ("JP", 86)],
+        target_prefs: &[
+            ("CN", 1_880),
+            ("KR", 1_004),
+            ("US", 694),
+            ("HK", 385),
+            ("JP", 86),
+        ],
         target_countries: 13,
         botnets: 60,
         bot_pool: 25_000,
@@ -234,7 +258,7 @@ pub const ACTIVE_FAMILIES: &[FamilyCalibration] = &[
         target_countries: 71,
         botnets: 280,
         bot_pool: 168_000,
-        target_pool: 6_700, // "wider presence ... than any other family"
+        target_pool: 6_700,    // "wider presence ... than any other family"
         active: (0, 206, 1.0), // constantly active, §III-A
         interval_weights: [0.72, 0.10, 0.09, 0.06, 0.03],
         min_interval_60s: false,
@@ -303,7 +327,13 @@ pub const ACTIVE_FAMILIES: &[FamilyCalibration] = &[
         protocol_counts: &[(Protocol::Http, 6_906)],
         // Table V's Pandora row repeats Optima's values (paper typo);
         // kept as printed — RU-dominant either way.
-        target_prefs: &[("RU", 2_115), ("DE", 155), ("US", 123), ("UA", 9), ("KG", 7)],
+        target_prefs: &[
+            ("RU", 2_115),
+            ("DE", 155),
+            ("US", 123),
+            ("UA", 9),
+            ("KG", 7),
+        ],
         target_countries: 43,
         botnets: 90,
         bot_pool: 55_000,
@@ -448,7 +478,11 @@ mod tests {
             (Family::Yzf, 546),
         ];
         for (family, n) in expect {
-            assert_eq!(calibration_for(family).unwrap().total_attacks(), n, "{family}");
+            assert_eq!(
+                calibration_for(family).unwrap().total_attacks(),
+                n,
+                "{family}"
+            );
         }
     }
 
@@ -470,8 +504,8 @@ mod tests {
 
     #[test]
     fn bot_pools_approach_table_iii() {
-        let total: u32 = ACTIVE_FAMILIES.iter().map(|c| c.bot_pool).sum::<u32>()
-            + 13 * INACTIVE_BOT_POOL;
+        let total: u32 =
+            ACTIVE_FAMILIES.iter().map(|c| c.bot_pool).sum::<u32>() + 13 * INACTIVE_BOT_POOL;
         // Table III: 310,950 distinct bot IPs. Pools bound the observable
         // count from above; keep them within a few percent.
         assert!(

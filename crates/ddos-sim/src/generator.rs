@@ -155,8 +155,11 @@ fn plan_inter_family(
             .filter(|d| pb.active_days.contains(d))
             .collect();
         if matched && a == Family::Dirtjumper && b == Family::Pandora {
-            let confined: Vec<usize> =
-                days.iter().copied().filter(|d| (33..=124).contains(d)).collect();
+            let confined: Vec<usize> = days
+                .iter()
+                .copied()
+                .filter(|d| (33..=124).contains(d))
+                .collect();
             if !confined.is_empty() {
                 days = confined;
             }
@@ -165,7 +168,11 @@ fn plan_inter_family(
             return; // no overlap at this scale; the event count is reported as measured
         }
         let pool = shared_pools.entry((a, b)).or_insert_with(|| {
-            let n = if matched { config.scaled(96).max(4) } else { 64 } as usize;
+            let n = if matched {
+                config.scaled(96).max(4)
+            } else {
+                64
+            } as usize;
             // §V-A: the 96 Dirtjumper×Pandora targets spread over 58
             // organizations in 16 countries — much thinner per org than
             // a family's regular victim pool.
@@ -222,12 +229,7 @@ fn plan_inter_family(
 /// Targets cluster inside a bounded set of organizations — the paper's
 /// victims are "narrowly distributed within several organizations"
 /// (§IV-B): 9,026 IPs over only 1,074 organizations.
-fn build_target_pool(
-    profile: &FamilyProfile,
-    geo: &GeoDb,
-    n: usize,
-    rng: &mut Rng,
-) -> Vec<Target> {
+fn build_target_pool(profile: &FamilyProfile, geo: &GeoDb, n: usize, rng: &mut Rng) -> Vec<Target> {
     // ~8 victim IPs per organization on average (9,026 IPs over 1,074
     // orgs, Table III).
     build_target_pool_with(profile, geo, n, (n / 8).max(3), rng)
@@ -338,8 +340,7 @@ fn run_family(
     // Consecutive chains (§V-B).
     let mut chain_plan: Vec<usize> = Vec::new();
     if config.chains {
-        if let Some(&(_, chains, lo, hi)) =
-            CONSECUTIVE_CHAINS.iter().find(|&&(f, ..)| f == family)
+        if let Some(&(_, chains, lo, hi)) = CONSECUTIVE_CHAINS.iter().find(|&&(f, ..)| f == family)
         {
             if family == Family::Ddoser && budget >= DDOSER_CHAIN_LEN {
                 chain_plan.push(DDOSER_CHAIN_LEN); // the 22-attack chain
@@ -391,14 +392,14 @@ fn run_family(
     let mut bots: HashMap<IpAddr4, (Timestamp, Timestamp)> = HashMap::new();
 
     let emit = |start: Timestamp,
-                    duration: Seconds,
-                    magnitude: usize,
-                    target: Target,
-                    botnet: BotnetId,
-                    attacks: &mut Vec<AttackRecord>,
-                    bots: &mut HashMap<IpAddr4, (Timestamp, Timestamp)>,
-                    sampler: &mut SourceSampler,
-                    rng: &mut Rng| {
+                duration: Seconds,
+                magnitude: usize,
+                target: Target,
+                botnet: BotnetId,
+                attacks: &mut Vec<AttackRecord>,
+                bots: &mut HashMap<IpAddr4, (Timestamp, Timestamp)>,
+                sampler: &mut SourceSampler,
+                rng: &mut Rng| {
         let week = config.window.week_index(start).unwrap_or(num_weeks - 1);
         let sources = sampler.sources(profile, &roster, geo, week, magnitude, rng);
         for &ip in &sources {
@@ -433,7 +434,14 @@ fn run_family(
             let magnitude = magnitude_process.next(&mut rng);
             let botnet = pick_botnet(profile, botnet_base, config, day, &mut rng);
             emit(
-                t, duration, magnitude, target, botnet, &mut attacks, &mut bots, &mut sampler,
+                t,
+                duration,
+                magnitude,
+                target,
+                botnet,
+                &mut attacks,
+                &mut bots,
+                &mut sampler,
                 &mut rng,
             );
         }
@@ -461,7 +469,14 @@ fn run_family(
             let start = t0 + Seconds(offset);
             let dur = Seconds(collab::matched_duration(duration.get(), &mut rng));
             emit(
-                start, dur, magnitude, target, botnet, &mut attacks, &mut bots, &mut sampler,
+                start,
+                dur,
+                magnitude,
+                target,
+                botnet,
+                &mut attacks,
+                &mut bots,
+                &mut sampler,
                 &mut rng,
             );
         }
@@ -485,7 +500,14 @@ fn run_family(
             let botnet = pick_distinct_botnet(profile, botnet_base, config, day, &used, &mut rng);
             used.push(botnet);
             emit(
-                t, duration, magnitude, target, botnet, &mut attacks, &mut bots, &mut sampler,
+                t,
+                duration,
+                magnitude,
+                target,
+                botnet,
+                &mut attacks,
+                &mut bots,
+                &mut sampler,
                 &mut rng,
             );
             t = t + duration + Seconds(collab::chain_gap(&mut rng));
@@ -556,7 +578,8 @@ fn run_family(
             let d0 = rng.range_inclusive(first_day as u64, last_day as u64) as usize;
             let first = config.window.day_start(d0);
             let last = first + Seconds::days(rng.below(30) as i64 + 1);
-            bots.entry(ip).or_insert((first, last.min(config.window.end - Seconds(1))));
+            bots.entry(ip)
+                .or_insert((first, last.min(config.window.end - Seconds(1))));
         }
     }
 
@@ -730,7 +753,10 @@ fn assemble(
         cursor += INACTIVE_BOTNETS_PER_FAMILY;
         for k in 0..config.scaled(INACTIVE_BOT_POOL) {
             let ip = geo
-                .ip_in_country(ddos_schema::CountryCode::literal("US"), rng.next_u64() ^ u64::from(k))
+                .ip_in_country(
+                    ddos_schema::CountryCode::literal("US"),
+                    rng.next_u64() ^ u64::from(k),
+                )
                 .expect("US allocated");
             if let Some(loc) = geo.lookup(ip) {
                 builder.push_bot(BotRecord {
@@ -970,7 +996,10 @@ mod tests {
             .iter()
             .find(|a| a.target_ip.network(24) == subnet)
             .unwrap();
-        assert_eq!(sample.target.country, ddos_schema::CountryCode::literal("RU"));
+        assert_eq!(
+            sample.target.country,
+            ddos_schema::CountryCode::literal("RU")
+        );
     }
 
     #[test]
@@ -981,14 +1010,11 @@ mod tests {
         let window = t.dataset.window();
         let mut shared = 0;
         for a in t.dataset.attacks_of(Family::Dirtjumper) {
-            let partnered = t
-                .dataset
-                .attacks_on(a.target_ip)
-                .any(|b| {
-                    b.family == Family::Pandora
-                        && (b.start - a.start).get().abs() <= 60
-                        && (a.duration().get() - b.duration().get()).abs() <= 1_800
-                });
+            let partnered = t.dataset.attacks_on(a.target_ip).any(|b| {
+                b.family == Family::Pandora
+                    && (b.start - a.start).get().abs() <= 60
+                    && (a.duration().get() - b.duration().get()).abs() <= 1_800
+            });
             if partnered {
                 shared += 1;
                 let day = window.day_index(a.start).unwrap();
@@ -1011,11 +1037,7 @@ mod tests {
             .attacks_of(Family::Dirtjumper)
             .map(|a| (a.magnitude() as f64).ln())
             .collect();
-        let r = ddos_stats::pearson_correlation(
-            &mags[..mags.len() - 1],
-            &mags[1..],
-        )
-        .unwrap();
+        let r = ddos_stats::pearson_correlation(&mags[..mags.len() - 1], &mags[1..]).unwrap();
         assert!(r > 0.3, "lag-1 magnitude correlation {r}");
     }
 

@@ -266,7 +266,10 @@ mod tests {
         assert!(!cities.is_empty());
         for c in cities {
             let info = geo.city(c).unwrap();
-            assert!(p.home_countries.iter().any(|&(code, _)| code == info.country));
+            assert!(p
+                .home_countries
+                .iter()
+                .any(|&(code, _)| code == info.country));
         }
     }
 }

@@ -49,8 +49,10 @@ impl Roster {
         assert!(!home.is_empty(), "family without home cities");
         let pool_per_city = (u64::from(profile.bot_pool) / home.len() as u64).max(50);
 
-        let mut seen_countries: HashSet<CountryCode> =
-            home.iter().map(|&c| geo.city(c).expect("home city").country).collect();
+        let mut seen_countries: HashSet<CountryCode> = home
+            .iter()
+            .map(|&c| geo.city(c).expect("home city").country)
+            .collect();
         // Start with most of the home roster active.
         let mut current: Vec<CityId> = home.clone();
         let mut weeks = Vec::with_capacity(num_weeks);
@@ -107,7 +109,9 @@ impl Roster {
 /// reference population (eight bots in the primary, one per stray city)
 /// relative to the mean stray distance. Near zero means the mix cancels.
 fn mix_quality(geo: &GeoDb, primary: CityId, secondary: &[CityId]) -> f64 {
-    let Some(p) = geo.city(primary) else { return 0.0 };
+    let Some(p) = geo.city(primary) else {
+        return 0.0;
+    };
     let mut pts: Vec<ddos_schema::LatLon> = vec![p.coords; 8];
     let mut dist_sum = 0.0;
     for &c in secondary {
@@ -205,9 +209,13 @@ impl SourceSampler {
                 }
                 let c = *rng.choose(&week.cities);
                 let country_ok = if profile.cal.foreign_strays {
-                    geo.city(c).map(|ci| Some(ci.country) != primary_cc).unwrap_or(true)
+                    geo.city(c)
+                        .map(|ci| Some(ci.country) != primary_cc)
+                        .unwrap_or(true)
                 } else {
-                    geo.city(c).map(|ci| Some(ci.country) == primary_cc).unwrap_or(false)
+                    geo.city(c)
+                        .map(|ci| Some(ci.country) == primary_cc)
+                        .unwrap_or(false)
                 };
                 if c != self.primary
                     && !candidate.contains(&c)
@@ -346,8 +354,7 @@ mod tests {
     #[test]
     fn roster_stays_in_home_countries_mostly() {
         let (geo, profile, roster) = setup(Family::Pandora);
-        let home: HashSet<CountryCode> =
-            profile.home_countries.iter().map(|&(c, _)| c).collect();
+        let home: HashSet<CountryCode> = profile.home_countries.iter().map(|&(c, _)| c).collect();
         let mut in_home = 0;
         let mut total = 0;
         for w in 0..roster.num_weeks() {
@@ -370,7 +377,10 @@ mod tests {
         let new_weeks = (0..roster.num_weeks())
             .filter(|&w| !roster.week(w).new_country_cities.is_empty())
             .count();
-        assert!(new_weeks <= roster.num_weeks() / 2, "{new_weeks} new-country weeks");
+        assert!(
+            new_weeks <= roster.num_weeks() / 2,
+            "{new_weeks} new-country weeks"
+        );
     }
 
     #[test]
@@ -382,10 +392,7 @@ mod tests {
         let mut single = 0;
         for _ in 0..200 {
             let ips = sampler.sources(&profile, &roster, &geo, 0, 30, &mut rng);
-            let cities: HashSet<_> = ips
-                .iter()
-                .map(|&ip| geo.lookup(ip).unwrap().city)
-                .collect();
+            let cities: HashSet<_> = ips.iter().map(|&ip| geo.lookup(ip).unwrap().city).collect();
             if cities.len() == 1 {
                 single += 1;
             }
@@ -401,10 +408,7 @@ mod tests {
         let mut multi = 0;
         for _ in 0..200 {
             let ips = sampler.sources(&profile, &roster, &geo, 3, 40, &mut rng);
-            let cities: HashSet<_> = ips
-                .iter()
-                .map(|&ip| geo.lookup(ip).unwrap().city)
-                .collect();
+            let cities: HashSet<_> = ips.iter().map(|&ip| geo.lookup(ip).unwrap().city).collect();
             if cities.len() > 1 {
                 multi += 1;
             }

@@ -307,7 +307,11 @@ mod tests {
 
     fn profile(family: Family) -> FamilyProfile {
         let mut rng = Rng::new(2).fork(family.index() as u64);
-        FamilyProfile::resolve(calibration_for(family).unwrap(), &SimConfig::default(), &mut rng)
+        FamilyProfile::resolve(
+            calibration_for(family).unwrap(),
+            &SimConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]

@@ -388,7 +388,10 @@ mod tests {
             let mut rng = Rng::new(7);
             let n = 30_000;
             let m: f64 = (0..n).map(|_| p.sample_count(&mut rng) as f64).sum::<f64>() / n as f64;
-            assert!((m - lambda).abs() < lambda.max(1.0) * 0.05, "λ={lambda} m={m}");
+            assert!(
+                (m - lambda).abs() < lambda.max(1.0) * 0.05,
+                "λ={lambda} m={m}"
+            );
         }
     }
 

@@ -1,12 +1,74 @@
 //! Seedable random number generation.
 //!
 //! Trace generation must be reproducible across library upgrades, so the
-//! generator algorithm is pinned here (xoshiro256++ seeded via SplitMix64,
-//! Blackman & Vigna) instead of relying on `rand`'s unspecified
-//! `SmallRng`. [`Rng`] implements `rand_core::RngCore`, so it still plugs
-//! into the `rand` ecosystem where convenient.
+//! generator algorithms are pinned here ([`SplitMix64`] and xoshiro256++
+//! seeded via SplitMix64, Blackman & Vigna) instead of relying on
+//! `rand`'s unspecified `SmallRng`. [`Rng`] implements
+//! `rand_core::RngCore`, so it still plugs into the `rand` ecosystem
+//! where convenient. `ddos-geo` re-exports [`SplitMix64`], [`mix64`] and
+//! [`mix_f64`] for its deterministic world synthesis.
 
 use rand::RngCore;
+
+/// SplitMix64 — the standard 64-bit mixer from Vigna's `xorshift` paper.
+///
+/// This is the one SplitMix64 in the workspace: `ddos-geo` re-exports it
+/// for world synthesis (a geo database must be reproducible from a seed
+/// alone and must not change when the `rand` crate revs its algorithms),
+/// and [`Rng`] uses it as its seeding procedure.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded generation (Lemire); bias is negligible
+        // for our bounds (all far below 2^32).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[-1, 1)`.
+    pub fn next_signed_f64(&mut self) -> f64 {
+        self.next_f64() * 2.0 - 1.0
+    }
+}
+
+/// Stateless 64-bit mix of a key — used to derive stable per-entity jitter
+/// (e.g. an address's offset from its city centroid) without threading an
+/// RNG through lookups.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a mixed key to a float in `[0, 1)`.
+pub fn mix_f64(key: u64) -> f64 {
+    (mix64(key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// Pinned-algorithm PRNG: xoshiro256++.
 #[derive(Debug, Clone)]
@@ -14,25 +76,12 @@ pub struct Rng {
     s: [u64; 4],
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 impl Rng {
     /// Creates a generator from a 64-bit seed (expanded via SplitMix64,
     /// the seeding procedure recommended by the xoshiro authors).
     pub fn new(seed: u64) -> Rng {
-        let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
         Rng { s }
     }
 
@@ -41,13 +90,8 @@ impl Rng {
     /// Used to give each botnet family / week its own stream so adding
     /// one family never perturbs another's randomness.
     pub fn fork(&self, label: u64) -> Rng {
-        let mut sm = self.s[0] ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let mut sm = SplitMix64::new(self.s[0] ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
         Rng { s }
     }
 
@@ -212,6 +256,51 @@ mod tests {
         let mut r = Rng::new(11);
         assert!(!(0..100).any(|_| r.chance(0.0)));
         assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn splitmix_deterministic_for_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn splitmix_next_below_respects_bound() {
+        let mut r = SplitMix64::new(42);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_floats_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let s = r.next_signed_f64();
+            assert!((-1.0..1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn mix_is_stable() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(1), mix64(2));
+        assert!((0.0..1.0).contains(&mix_f64(123)));
     }
 
     #[test]

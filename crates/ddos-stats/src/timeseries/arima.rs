@@ -130,7 +130,10 @@ impl ArimaModel {
         max_q: usize,
     ) -> Result<ArimaFit, ArimaError> {
         let mut best: Option<(f64, ArimaFit)> = None;
-        let mut last_err = ArimaError::TooShort { needed: 8, got: series.len() };
+        let mut last_err = ArimaError::TooShort {
+            needed: 8,
+            got: series.len(),
+        };
         for d in 0..=max_d {
             for p in 0..=max_p {
                 for q in 0..=max_q {
@@ -440,7 +443,11 @@ mod tests {
             "phi {:?}",
             fit.model.phi
         );
-        assert!((fit.model.sigma2 - 1.0).abs() < 0.1, "σ² {}", fit.model.sigma2);
+        assert!(
+            (fit.model.sigma2 - 1.0).abs() < 0.1,
+            "σ² {}",
+            fit.model.sigma2
+        );
     }
 
     #[test]
@@ -478,7 +485,11 @@ mod tests {
             })
             .collect();
         let fit = ArimaModel::fit(&xs, ArimaSpec::new(0, 1, 0)).unwrap();
-        assert!((fit.model.mean - 0.5).abs() < 0.05, "mean {}", fit.model.mean);
+        assert!(
+            (fit.model.mean - 0.5).abs() < 0.05,
+            "mean {}",
+            fit.model.mean
+        );
         let fc = fit.model.forecast(&xs, 3).unwrap();
         let last = *xs.last().unwrap();
         assert!((fc[0] - (last + 0.5)).abs() < 0.1);
@@ -527,11 +538,7 @@ mod tests {
         let fit = ArimaModel::fit(train, ArimaSpec::new(1, 0, 0)).unwrap();
         let preds = fit.model.rolling_one_step(train, test).unwrap();
         assert_eq!(preds.len(), test.len());
-        let model_sse: f64 = preds
-            .iter()
-            .zip(test)
-            .map(|(p, t)| (p - t).powi(2))
-            .sum();
+        let model_sse: f64 = preds.iter().zip(test).map(|(p, t)| (p - t).powi(2)).sum();
         // Naive predictor: repeat the previous value.
         let mut naive_sse = 0.0;
         let mut prev = train[train.len() - 1];
@@ -597,7 +604,10 @@ mod tests {
         // AR(1) interval converges to ±z·σ/√(1−φ²) ≈ ±3.27 for φ=0.8.
         let last_half = (bounds[29].2 - bounds[29].0) / 2.0;
         let expected = 1.96 * (fit.model.sigma2 / (1.0 - 0.8f64 * 0.8)).sqrt();
-        assert!((last_half / expected - 1.0).abs() < 0.15, "{last_half} vs {expected}");
+        assert!(
+            (last_half / expected - 1.0).abs() < 0.15,
+            "{last_half} vs {expected}"
+        );
         // Bounds bracket the point forecast symmetrically.
         for &(lo, mid, hi) in &bounds {
             assert!(lo <= mid && mid <= hi);
@@ -642,7 +652,11 @@ mod tests {
         let fit = ArimaModel::auto_fit(&xs, 2, 1, 2).unwrap();
         // Whatever the chosen order, the one-step innovations must be
         // close to the true noise variance (1.0).
-        assert!((fit.model.sigma2 - 1.0).abs() < 0.15, "σ² {}", fit.model.sigma2);
+        assert!(
+            (fit.model.sigma2 - 1.0).abs() < 0.15,
+            "σ² {}",
+            fit.model.sigma2
+        );
         assert!(fit.model.spec.p <= 2 && fit.model.spec.q <= 2);
     }
 

@@ -92,10 +92,7 @@ mod tests {
 
     #[test]
     fn integrate_d0_is_identity() {
-        assert_eq!(
-            integrate(&[1.0, 2.0], &[9.0], 0),
-            Some(vec![1.0, 2.0])
-        );
+        assert_eq!(integrate(&[1.0, 2.0], &[9.0], 0), Some(vec![1.0, 2.0]));
     }
 
     proptest! {

@@ -129,7 +129,11 @@ where
         } else {
             // Contraction (outside if the reflected point improved on the
             // worst, inside otherwise).
-            let toward = if fr < values[n] { &reflected } else { &simplex[n] };
+            let toward = if fr < values[n] {
+                &reflected
+            } else {
+                &simplex[n]
+            };
             let contracted = lerp(&centroid, toward, 0.5);
             let fc = eval(&contracted, &mut f);
             if fc < values[n].min(fr) {

@@ -29,7 +29,10 @@ fn main() {
         collab.pairs.len(),
         collab.events.len()
     );
-    println!("{:<14} {:>12} {:>12}", "family", "intra pairs", "inter pairs");
+    println!(
+        "{:<14} {:>12} {:>12}",
+        "family", "intra pairs", "inter pairs"
+    );
     for family in Family::ACTIVE {
         let intra = collab.intra_pairs.get(&family).copied().unwrap_or(0);
         let inter = collab.inter_pairs.get(&family).copied().unwrap_or(0);

@@ -28,10 +28,7 @@ fn main() {
     let ds = &trace.dataset;
 
     let log = ActivityLog::build(ds, family);
-    println!(
-        "{family}: {} activity events across the window",
-        log.len()
-    );
+    println!("{family}: {} activity events across the window", log.len());
     if log.is_empty() {
         println!("(dormant family — no reports to replay)");
         return;
@@ -45,7 +42,7 @@ fn main() {
         if *count == 0 {
             continue;
         }
-        let bar_len = if peak > 0 { count * 50 / peak } else { 0 };
+        let bar_len = (count * 50).checked_div(peak).unwrap_or(0);
         println!("{t}  {count:>6} {}", "#".repeat(bar_len));
     }
 

@@ -20,7 +20,10 @@ fn main() {
         ..SimConfig::default()
     };
 
-    eprintln!("generating trace at scale {scale} (seed {:#x})...", config.seed);
+    eprintln!(
+        "generating trace at scale {scale} (seed {:#x})...",
+        config.seed
+    );
     let t0 = std::time::Instant::now();
     let trace = generate(&config);
     eprintln!(

@@ -49,7 +49,10 @@ fn main() {
                 "cosine similarity {:.3}; prediction mean {:.1} (std {:.1}) vs truth mean {:.1} (std {:.1})",
                 e.cosine, e.pred_mean, e.pred_std, e.truth_mean, e.truth_std
             );
-            println!("mae {:.1} km, rmse {:.1} km over {} points", e.mae, e.rmse, e.n);
+            println!(
+                "mae {:.1} km, rmse {:.1} km over {} points",
+                e.mae, e.rmse, e.n
+            );
             println!("\nlast 20 one-step predictions (predicted vs actual, km):");
             let f = &row.forecast;
             let n = f.predictions.len();

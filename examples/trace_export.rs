@@ -12,9 +12,12 @@ use ddos_schema::codec;
 use ddos_sim::{generate, SimConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| std::env::temp_dir().join("ddos-trace").display().to_string());
+    let dir = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("ddos-trace")
+            .display()
+            .to_string()
+    });
     std::fs::create_dir_all(&dir)?;
 
     eprintln!("generating small trace...");
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reloaded = codec::decode(&std::fs::read(&bin_path)?)?;
     assert_eq!(reloaded.attacks(), ds.attacks(), "binary round trip");
     assert_eq!(reloaded.bots(), ds.bots(), "bot records round trip");
-    println!("binary round trip verified: {} attacks identical", reloaded.len());
+    println!(
+        "binary round trip verified: {} attacks identical",
+        reloaded.len()
+    );
 
     let from_json = codec::from_json(&std::fs::read_to_string(&json_path)?)?;
     assert_eq!(from_json.attacks(), ds.attacks(), "json round trip");

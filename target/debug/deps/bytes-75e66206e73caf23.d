@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-75e66206e73caf23.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-75e66206e73caf23.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collaboration-299678e2fc3c379e.d: crates/bench/benches/collaboration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollaboration-299678e2fc3c379e.rmeta: crates/bench/benches/collaboration.rs Cargo.toml
+
+crates/bench/benches/collaboration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

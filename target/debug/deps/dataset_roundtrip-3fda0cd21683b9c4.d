@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_roundtrip-3fda0cd21683b9c4.d: crates/core/../../tests/dataset_roundtrip.rs
+
+/root/repo/target/debug/deps/dataset_roundtrip-3fda0cd21683b9c4: crates/core/../../tests/dataset_roundtrip.rs
+
+crates/core/../../tests/dataset_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_roundtrip-ed79616c19c207bd.d: crates/core/../../tests/dataset_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_roundtrip-ed79616c19c207bd.rmeta: crates/core/../../tests/dataset_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/dataset_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_roundtrip-f0c740be0b769835.d: crates/core/../../tests/dataset_roundtrip.rs
+
+/root/repo/target/debug/deps/dataset_roundtrip-f0c740be0b769835: crates/core/../../tests/dataset_roundtrip.rs
+
+crates/core/../../tests/dataset_roundtrip.rs:

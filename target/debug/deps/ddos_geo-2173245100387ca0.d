@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ddos_geo-2173245100387ca0.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+
+/root/repo/target/debug/deps/ddos_geo-2173245100387ca0: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+
+crates/ddos-geo/src/lib.rs:
+crates/ddos-geo/src/center.rs:
+crates/ddos-geo/src/country.rs:
+crates/ddos-geo/src/geodb.rs:
+crates/ddos-geo/src/haversine.rs:
+crates/ddos-geo/src/reserved.rs:
+crates/ddos-geo/src/rng.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ddos_geo-29c880002c096223.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+
+/root/repo/target/debug/deps/libddos_geo-29c880002c096223.rlib: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+
+/root/repo/target/debug/deps/libddos_geo-29c880002c096223.rmeta: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+
+crates/ddos-geo/src/lib.rs:
+crates/ddos-geo/src/center.rs:
+crates/ddos-geo/src/country.rs:
+crates/ddos-geo/src/geodb.rs:
+crates/ddos-geo/src/haversine.rs:
+crates/ddos-geo/src/reserved.rs:
+crates/ddos-geo/src/rng.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ddos_report-04b785e29eb746b6.d: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+/root/repo/target/debug/deps/libddos_report-04b785e29eb746b6.rlib: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+/root/repo/target/debug/deps/libddos_report-04b785e29eb746b6.rmeta: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+crates/ddos-report/src/lib.rs:
+crates/ddos-report/src/compare.rs:
+crates/ddos-report/src/experiments.rs:
+crates/ddos-report/src/series.rs:
+crates/ddos-report/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ddos_report-9809f978e5841f5a.d: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddos_report-9809f978e5841f5a.rmeta: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs Cargo.toml
+
+crates/ddos-report/src/lib.rs:
+crates/ddos-report/src/compare.rs:
+crates/ddos-report/src/experiments.rs:
+crates/ddos-report/src/series.rs:
+crates/ddos-report/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

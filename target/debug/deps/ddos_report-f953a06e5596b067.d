@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ddos_report-f953a06e5596b067.d: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+/root/repo/target/debug/deps/ddos_report-f953a06e5596b067: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+crates/ddos-report/src/lib.rs:
+crates/ddos-report/src/compare.rs:
+crates/ddos-report/src/experiments.rs:
+crates/ddos-report/src/series.rs:
+crates/ddos-report/src/table.rs:

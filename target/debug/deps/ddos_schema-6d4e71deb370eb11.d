@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ddos_schema-6d4e71deb370eb11.d: crates/ddos-schema/src/lib.rs crates/ddos-schema/src/codec.rs crates/ddos-schema/src/csv.rs crates/ddos-schema/src/dataset.rs crates/ddos-schema/src/error.rs crates/ddos-schema/src/family.rs crates/ddos-schema/src/geo.rs crates/ddos-schema/src/ids.rs crates/ddos-schema/src/ip.rs crates/ddos-schema/src/protocol.rs crates/ddos-schema/src/record.rs crates/ddos-schema/src/snapshot.rs crates/ddos-schema/src/time.rs
+
+/root/repo/target/debug/deps/ddos_schema-6d4e71deb370eb11: crates/ddos-schema/src/lib.rs crates/ddos-schema/src/codec.rs crates/ddos-schema/src/csv.rs crates/ddos-schema/src/dataset.rs crates/ddos-schema/src/error.rs crates/ddos-schema/src/family.rs crates/ddos-schema/src/geo.rs crates/ddos-schema/src/ids.rs crates/ddos-schema/src/ip.rs crates/ddos-schema/src/protocol.rs crates/ddos-schema/src/record.rs crates/ddos-schema/src/snapshot.rs crates/ddos-schema/src/time.rs
+
+crates/ddos-schema/src/lib.rs:
+crates/ddos-schema/src/codec.rs:
+crates/ddos-schema/src/csv.rs:
+crates/ddos-schema/src/dataset.rs:
+crates/ddos-schema/src/error.rs:
+crates/ddos-schema/src/family.rs:
+crates/ddos-schema/src/geo.rs:
+crates/ddos-schema/src/ids.rs:
+crates/ddos-schema/src/ip.rs:
+crates/ddos-schema/src/protocol.rs:
+crates/ddos-schema/src/record.rs:
+crates/ddos-schema/src/snapshot.rs:
+crates/ddos-schema/src/time.rs:

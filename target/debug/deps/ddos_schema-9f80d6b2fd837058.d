@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ddos_schema-9f80d6b2fd837058.d: crates/ddos-schema/src/lib.rs crates/ddos-schema/src/codec.rs crates/ddos-schema/src/csv.rs crates/ddos-schema/src/dataset.rs crates/ddos-schema/src/error.rs crates/ddos-schema/src/family.rs crates/ddos-schema/src/geo.rs crates/ddos-schema/src/ids.rs crates/ddos-schema/src/ip.rs crates/ddos-schema/src/protocol.rs crates/ddos-schema/src/record.rs crates/ddos-schema/src/snapshot.rs crates/ddos-schema/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddos_schema-9f80d6b2fd837058.rmeta: crates/ddos-schema/src/lib.rs crates/ddos-schema/src/codec.rs crates/ddos-schema/src/csv.rs crates/ddos-schema/src/dataset.rs crates/ddos-schema/src/error.rs crates/ddos-schema/src/family.rs crates/ddos-schema/src/geo.rs crates/ddos-schema/src/ids.rs crates/ddos-schema/src/ip.rs crates/ddos-schema/src/protocol.rs crates/ddos-schema/src/record.rs crates/ddos-schema/src/snapshot.rs crates/ddos-schema/src/time.rs Cargo.toml
+
+crates/ddos-schema/src/lib.rs:
+crates/ddos-schema/src/codec.rs:
+crates/ddos-schema/src/csv.rs:
+crates/ddos-schema/src/dataset.rs:
+crates/ddos-schema/src/error.rs:
+crates/ddos-schema/src/family.rs:
+crates/ddos-schema/src/geo.rs:
+crates/ddos-schema/src/ids.rs:
+crates/ddos-schema/src/ip.rs:
+crates/ddos-schema/src/protocol.rs:
+crates/ddos-schema/src/record.rs:
+crates/ddos-schema/src/snapshot.rs:
+crates/ddos-schema/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

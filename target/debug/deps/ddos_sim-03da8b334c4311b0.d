@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ddos_sim-03da8b334c4311b0.d: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddos_sim-03da8b334c4311b0.rmeta: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs Cargo.toml
+
+crates/ddos-sim/src/lib.rs:
+crates/ddos-sim/src/calibration.rs:
+crates/ddos-sim/src/collab.rs:
+crates/ddos-sim/src/config.rs:
+crates/ddos-sim/src/feed.rs:
+crates/ddos-sim/src/generator.rs:
+crates/ddos-sim/src/profile.rs:
+crates/ddos-sim/src/roster.rs:
+crates/ddos-sim/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ddos_sim-7dbc20ae06b537bc.d: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+/root/repo/target/debug/deps/libddos_sim-7dbc20ae06b537bc.rlib: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+/root/repo/target/debug/deps/libddos_sim-7dbc20ae06b537bc.rmeta: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+crates/ddos-sim/src/lib.rs:
+crates/ddos-sim/src/calibration.rs:
+crates/ddos-sim/src/collab.rs:
+crates/ddos-sim/src/config.rs:
+crates/ddos-sim/src/feed.rs:
+crates/ddos-sim/src/generator.rs:
+crates/ddos-sim/src/profile.rs:
+crates/ddos-sim/src/roster.rs:
+crates/ddos-sim/src/schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ddoslab-040948ac76e1183b.d: crates/ddos-report/src/bin/ddoslab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddoslab-040948ac76e1183b.rmeta: crates/ddos-report/src/bin/ddoslab.rs Cargo.toml
+
+crates/ddos-report/src/bin/ddoslab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

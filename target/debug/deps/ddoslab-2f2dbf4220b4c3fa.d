@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ddoslab-2f2dbf4220b4c3fa.d: crates/ddos-report/src/bin/ddoslab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddoslab-2f2dbf4220b4c3fa.rmeta: crates/ddos-report/src/bin/ddoslab.rs Cargo.toml
+
+crates/ddos-report/src/bin/ddoslab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

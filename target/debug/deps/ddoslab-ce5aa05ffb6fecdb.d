@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddoslab-ce5aa05ffb6fecdb.d: crates/ddos-report/src/bin/ddoslab.rs
+
+/root/repo/target/debug/deps/ddoslab-ce5aa05ffb6fecdb: crates/ddos-report/src/bin/ddoslab.rs
+
+crates/ddos-report/src/bin/ddoslab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddoslab-d2742b84bd697b15.d: crates/ddos-report/src/bin/ddoslab.rs
+
+/root/repo/target/debug/deps/ddoslab-d2742b84bd697b15: crates/ddos-report/src/bin/ddoslab.rs
+
+crates/ddos-report/src/bin/ddoslab.rs:

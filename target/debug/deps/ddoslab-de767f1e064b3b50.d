@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddoslab-de767f1e064b3b50.d: crates/ddos-report/src/bin/ddoslab.rs
+
+/root/repo/target/debug/deps/ddoslab-de767f1e064b3b50: crates/ddos-report/src/bin/ddoslab.rs
+
+crates/ddos-report/src/bin/ddoslab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator-03990085c233d867.d: crates/bench/benches/generator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator-03990085c233d867.rmeta: crates/bench/benches/generator.rs Cargo.toml
+
+crates/bench/benches/generator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/intervals-7edfbab06372201d.d: crates/bench/benches/intervals.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintervals-7edfbab06372201d.rmeta: crates/bench/benches/intervals.rs Cargo.toml
+
+crates/bench/benches/intervals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-a9079df5be02d5f0.d: crates/core/../../tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-a9079df5be02d5f0: crates/core/../../tests/invariants.rs
+
+crates/core/../../tests/invariants.rs:

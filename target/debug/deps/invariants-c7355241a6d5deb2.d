@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-c7355241a6d5deb2.d: crates/core/../../tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-c7355241a6d5deb2.rmeta: crates/core/../../tests/invariants.rs Cargo.toml
+
+crates/core/../../tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-d2fb4c0cea02bf0e.d: crates/core/../../tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-d2fb4c0cea02bf0e: crates/core/../../tests/invariants.rs
+
+crates/core/../../tests/invariants.rs:

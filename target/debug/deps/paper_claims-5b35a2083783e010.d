@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-5b35a2083783e010.d: crates/core/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-5b35a2083783e010.rmeta: crates/core/../../tests/paper_claims.rs Cargo.toml
+
+crates/core/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-81b572fc411aa81a.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-81b572fc411aa81a: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

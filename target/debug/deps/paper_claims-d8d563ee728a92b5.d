@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d8d563ee728a92b5.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d8d563ee728a92b5: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-19b5d5c8c769c227.d: crates/core/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-19b5d5c8c769c227: crates/core/../../tests/pipeline.rs
+
+crates/core/../../tests/pipeline.rs:

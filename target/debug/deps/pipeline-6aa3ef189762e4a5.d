@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-6aa3ef189762e4a5.d: crates/core/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-6aa3ef189762e4a5: crates/core/../../tests/pipeline.rs
+
+crates/core/../../tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-838f863a079baccf.d: crates/core/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-838f863a079baccf.rmeta: crates/core/../../tests/pipeline.rs Cargo.toml
+
+crates/core/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_equivalence-df32ce6b90b296b1.d: crates/core/../../tests/pipeline_equivalence.rs
+
+/root/repo/target/debug/deps/pipeline_equivalence-df32ce6b90b296b1: crates/core/../../tests/pipeline_equivalence.rs
+
+crates/core/../../tests/pipeline_equivalence.rs:

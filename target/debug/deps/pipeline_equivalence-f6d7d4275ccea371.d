@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_equivalence-f6d7d4275ccea371.d: crates/core/../../tests/pipeline_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_equivalence-f6d7d4275ccea371.rmeta: crates/core/../../tests/pipeline_equivalence.rs Cargo.toml
+
+crates/core/../../tests/pipeline_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

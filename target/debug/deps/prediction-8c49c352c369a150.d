@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prediction-8c49c352c369a150.d: crates/bench/benches/prediction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprediction-8c49c352c369a150.rmeta: crates/bench/benches/prediction.rs Cargo.toml
+
+crates/bench/benches/prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-335ab45bc2d5ad29.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-335ab45bc2d5ad29.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-8a0bd741617374f2.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-8a0bd741617374f2.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/ser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-e049f1976707c205.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-e049f1976707c205.rlib: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-e049f1976707c205.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-5e108fea3f7ee4f3.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5e108fea3f7ee4f3.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

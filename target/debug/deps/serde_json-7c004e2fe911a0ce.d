@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-7c004e2fe911a0ce.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7c004e2fe911a0ce.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7c004e2fe911a0ce.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

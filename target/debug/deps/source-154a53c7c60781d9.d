@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/source-154a53c7c60781d9.d: crates/bench/benches/source.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsource-154a53c7c60781d9.rmeta: crates/bench/benches/source.rs Cargo.toml
+
+crates/bench/benches/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-bac63fb07e926318.d: crates/bench/benches/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-bac63fb07e926318.rmeta: crates/bench/benches/tables.rs Cargo.toml
+
+crates/bench/benches/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

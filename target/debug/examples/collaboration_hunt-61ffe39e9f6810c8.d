@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collaboration_hunt-61ffe39e9f6810c8.d: crates/ddos-report/../../examples/collaboration_hunt.rs
+
+/root/repo/target/debug/examples/collaboration_hunt-61ffe39e9f6810c8: crates/ddos-report/../../examples/collaboration_hunt.rs
+
+crates/ddos-report/../../examples/collaboration_hunt.rs:

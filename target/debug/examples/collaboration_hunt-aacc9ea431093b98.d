@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collaboration_hunt-aacc9ea431093b98.d: crates/ddos-report/../../examples/collaboration_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollaboration_hunt-aacc9ea431093b98.rmeta: crates/ddos-report/../../examples/collaboration_hunt.rs Cargo.toml
+
+crates/ddos-report/../../examples/collaboration_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

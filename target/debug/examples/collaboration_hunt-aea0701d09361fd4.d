@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collaboration_hunt-aea0701d09361fd4.d: crates/ddos-report/../../examples/collaboration_hunt.rs
+
+/root/repo/target/debug/examples/collaboration_hunt-aea0701d09361fd4: crates/ddos-report/../../examples/collaboration_hunt.rs
+
+crates/ddos-report/../../examples/collaboration_hunt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/feed_replay-81f408cd7d4a4761.d: crates/ddos-report/../../examples/feed_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfeed_replay-81f408cd7d4a4761.rmeta: crates/ddos-report/../../examples/feed_replay.rs Cargo.toml
+
+crates/ddos-report/../../examples/feed_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feed_replay-9d3068afa36d2d56.d: crates/ddos-report/../../examples/feed_replay.rs
+
+/root/repo/target/debug/examples/feed_replay-9d3068afa36d2d56: crates/ddos-report/../../examples/feed_replay.rs
+
+crates/ddos-report/../../examples/feed_replay.rs:

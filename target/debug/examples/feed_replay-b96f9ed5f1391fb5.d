@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feed_replay-b96f9ed5f1391fb5.d: crates/ddos-report/../../examples/feed_replay.rs
+
+/root/repo/target/debug/examples/feed_replay-b96f9ed5f1391fb5: crates/ddos-report/../../examples/feed_replay.rs
+
+crates/ddos-report/../../examples/feed_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-0a210afdf67b6529.d: crates/ddos-report/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-0a210afdf67b6529.rmeta: crates/ddos-report/../../examples/quickstart.rs Cargo.toml
+
+crates/ddos-report/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

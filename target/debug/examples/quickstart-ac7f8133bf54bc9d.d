@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ac7f8133bf54bc9d.d: crates/ddos-report/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ac7f8133bf54bc9d: crates/ddos-report/../../examples/quickstart.rs
+
+crates/ddos-report/../../examples/quickstart.rs:

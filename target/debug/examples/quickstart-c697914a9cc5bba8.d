@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c697914a9cc5bba8.d: crates/ddos-report/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c697914a9cc5bba8: crates/ddos-report/../../examples/quickstart.rs
+
+crates/ddos-report/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/source_prediction-83eb4080faaf8e5f.d: crates/ddos-report/../../examples/source_prediction.rs
+
+/root/repo/target/debug/examples/source_prediction-83eb4080faaf8e5f: crates/ddos-report/../../examples/source_prediction.rs
+
+crates/ddos-report/../../examples/source_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/source_prediction-900a07da1b1694c1.d: crates/ddos-report/../../examples/source_prediction.rs
+
+/root/repo/target/debug/examples/source_prediction-900a07da1b1694c1: crates/ddos-report/../../examples/source_prediction.rs
+
+crates/ddos-report/../../examples/source_prediction.rs:

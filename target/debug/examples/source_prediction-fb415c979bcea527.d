@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/source_prediction-fb415c979bcea527.d: crates/ddos-report/../../examples/source_prediction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsource_prediction-fb415c979bcea527.rmeta: crates/ddos-report/../../examples/source_prediction.rs Cargo.toml
+
+crates/ddos-report/../../examples/source_prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/target_profiling-59a42afceea7b902.d: crates/ddos-report/../../examples/target_profiling.rs
+
+/root/repo/target/debug/examples/target_profiling-59a42afceea7b902: crates/ddos-report/../../examples/target_profiling.rs
+
+crates/ddos-report/../../examples/target_profiling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/target_profiling-d2dee53509afccdb.d: crates/ddos-report/../../examples/target_profiling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtarget_profiling-d2dee53509afccdb.rmeta: crates/ddos-report/../../examples/target_profiling.rs Cargo.toml
+
+crates/ddos-report/../../examples/target_profiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/target_profiling-d6851239d785168d.d: crates/ddos-report/../../examples/target_profiling.rs
+
+/root/repo/target/debug/examples/target_profiling-d6851239d785168d: crates/ddos-report/../../examples/target_profiling.rs
+
+crates/ddos-report/../../examples/target_profiling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_export-2e3e87de8a5900d5.d: crates/ddos-report/../../examples/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_export-2e3e87de8a5900d5.rmeta: crates/ddos-report/../../examples/trace_export.rs Cargo.toml
+
+crates/ddos-report/../../examples/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-b431b1266629ef01.d: crates/ddos-report/../../examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-b431b1266629ef01: crates/ddos-report/../../examples/trace_export.rs
+
+crates/ddos-report/../../examples/trace_export.rs:

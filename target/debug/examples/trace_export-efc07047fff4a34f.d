@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-efc07047fff4a34f.d: crates/ddos-report/../../examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-efc07047fff4a34f: crates/ddos-report/../../examples/trace_export.rs
+
+crates/ddos-report/../../examples/trace_export.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-5385f66cb4be5582.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-5385f66cb4be5582.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-5385f66cb4be5582.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

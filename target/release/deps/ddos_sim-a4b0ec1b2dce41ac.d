@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ddos_sim-a4b0ec1b2dce41ac.d: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+/root/repo/target/release/deps/libddos_sim-a4b0ec1b2dce41ac.rlib: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+/root/repo/target/release/deps/libddos_sim-a4b0ec1b2dce41ac.rmeta: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+crates/ddos-sim/src/lib.rs:
+crates/ddos-sim/src/calibration.rs:
+crates/ddos-sim/src/collab.rs:
+crates/ddos-sim/src/config.rs:
+crates/ddos-sim/src/feed.rs:
+crates/ddos-sim/src/generator.rs:
+crates/ddos-sim/src/profile.rs:
+crates/ddos-sim/src/roster.rs:
+crates/ddos-sim/src/schedule.rs:

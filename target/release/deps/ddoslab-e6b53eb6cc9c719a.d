@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ddoslab-e6b53eb6cc9c719a.d: crates/ddos-report/src/bin/ddoslab.rs
+
+/root/repo/target/release/deps/ddoslab-e6b53eb6cc9c719a: crates/ddos-report/src/bin/ddoslab.rs
+
+crates/ddos-report/src/bin/ddoslab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_equivalence-af371feaea976838.d: crates/core/../../tests/pipeline_equivalence.rs
+
+/root/repo/target/release/deps/pipeline_equivalence-af371feaea976838: crates/core/../../tests/pipeline_equivalence.rs
+
+crates/core/../../tests/pipeline_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-2525afc0e2906ed3.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-2525afc0e2906ed3: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-aa0bcd297ef29299.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-aa0bcd297ef29299.rlib: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-aa0bcd297ef29299.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/ser.rs:

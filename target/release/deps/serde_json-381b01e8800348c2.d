@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-381b01e8800348c2.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-381b01e8800348c2.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-381b01e8800348c2.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -89,11 +89,7 @@ fn every_chain_link_satisfies_the_margin() {
 fn concurrency_events_share_exact_starts() {
     let c = ddos_analytics::overview::intervals::ConcurrencyAnalysis::compute(ds());
     let attacks = ds().attacks();
-    for e in c
-        .single_family_events
-        .iter()
-        .chain(&c.multi_family_events)
-    {
+    for e in c.single_family_events.iter().chain(&c.multi_family_events) {
         assert!(e.attacks.len() >= 2);
         for &i in &e.attacks {
             assert_eq!(attacks[i].start, e.start);

@@ -52,7 +52,10 @@ fn daily_peak_is_the_dirtjumper_spike_day() {
     let (day, peak) = d.peak().unwrap();
     // §III-A: the max day is 2012-08-30 (day index 1), Dirtjumper-driven.
     assert_eq!(day, 1, "peak on day {day}");
-    assert!(peak as f64 > 3.0 * d.mean_per_day(), "peak {peak} not an outlier");
+    assert!(
+        peak as f64 > 3.0 * d.mean_per_day(),
+        "peak {peak} not an outlier"
+    );
     let dj = DailyDistribution::compute_for(ds(), Family::Dirtjumper);
     assert_eq!(dj.peak().unwrap().0, 1);
 }
@@ -158,7 +161,12 @@ fn dirtjumper_partners_dominate_multi_family_events() {
 fn durations_are_heavy_tailed_with_four_hour_p80() {
     let d = DurationAnalysis::compute(ds()).unwrap();
     // Paper: mean 10,308 s vs median 1,766 s (heavy right tail).
-    assert!(d.mean > 2.0 * d.median, "mean {} median {}", d.mean, d.median);
+    assert!(
+        d.mean > 2.0 * d.median,
+        "mean {} median {}",
+        d.mean,
+        d.median
+    );
     // Paper: 80% of attacks last under ~four hours (13,882 s).
     assert!(
         (4_000.0..30_000.0).contains(&d.p80),
@@ -337,7 +345,11 @@ fn flagship_pair_has_paper_like_shape() {
     let focus = PairFocus::compute(ds(), &c, Family::Dirtjumper, Family::Pandora).unwrap();
     // §V-A: 96 unique targets in 16 countries at full scale — scaled
     // down here, but plural on both axes.
-    assert!(focus.unique_targets >= 3, "{} targets", focus.unique_targets);
+    assert!(
+        focus.unique_targets >= 3,
+        "{} targets",
+        focus.unique_targets
+    );
     assert!(focus.countries.len() >= 2, "{:?}", focus.countries);
     // Pandora attacks outlast Dirtjumper's (6,420 s vs 5,083 s).
     assert!(
@@ -443,8 +455,7 @@ fn blacklist_warmup_pays_off() {
 
 #[test]
 fn takedown_priority_is_front_loaded() {
-    let steps =
-        ddos_analytics::defense::takedown_priority(ds(), bots(), 10);
+    let steps = ddos_analytics::defense::takedown_priority(ds(), bots(), 10);
     assert!(steps.len() >= 5);
     // Regionalization (Fig. 8): the top three countries host most of the
     // attack participation.

@@ -1,0 +1,87 @@
+//! Minimal offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 calling
+//! convention (outer `Result`, joinable handles) implemented over
+//! `std::thread::scope`. The only behavioral difference from the real
+//! crate is that the `Scope` handle is passed by value (it is `Copy`),
+//! which call sites using inferred closure parameters never observe.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a panicked scoped thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Handle for spawning threads inside a [`scope`] call.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope again
+        /// so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all spawned threads are joined before `scope` returns. Returns
+    /// `Err` with the panic payload if the closure (or an unjoined
+    /// spawned thread) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum: i32 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        let joined: Result<(), _> = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(joined.is_err());
+    }
+}

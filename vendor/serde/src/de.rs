@@ -1,0 +1,349 @@
+//! Deserialization traits over a concrete content model.
+//!
+//! Instead of serde's visitor machinery, a [`Deserializer`] produces a
+//! [`Content`] tree (the self-describing data model of the underlying
+//! format) and `Deserialize` impls pattern-match it. Borrowed string
+//! content (`Content::Str`) preserves zero-copy `&str` deserialization.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Error trait every deserializer error must implement.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// The self-describing content model a format produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content<'de> {
+    /// Null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String borrowed from the input.
+    Str(&'de str),
+    /// Owned string (input contained escapes).
+    String(String),
+    /// Sequence of values.
+    Seq(Vec<Content<'de>>),
+    /// Key/value entries in input order.
+    Map(Vec<(Content<'de>, Content<'de>)>),
+}
+
+impl<'de> Content<'de> {
+    /// One-word description of the content kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) | Content::String(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// The string slice if this content is textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            Content::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A format backend that can produce a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Produces the content tree for the next value.
+    fn deserialize_content(self) -> Result<Content<'de>, Self::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+
+    /// Called by derived impls when a struct field is absent from the
+    /// input. Errors by default; `Option<T>` overrides it to `None`.
+    #[doc(hidden)]
+    fn missing_field<E: Error>(field: &'static str) -> Result<Self, E> {
+        Err(E::custom(format!("missing field `{field}`")))
+    }
+}
+
+/// Adapter that re-deserializes an already-produced [`Content`] value —
+/// the glue derived impls use for nested fields.
+pub struct ContentDeserializer<'de, E> {
+    content: Content<'de>,
+    marker: PhantomData<fn() -> E>,
+}
+
+impl<'de, E> ContentDeserializer<'de, E> {
+    /// Wraps a content value.
+    pub fn new(content: Content<'de>) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<'de, E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content<'de>, E> {
+        Ok(self.content)
+    }
+}
+
+fn unexpected<T, E: Error>(expected: &str, got: &Content<'_>) -> Result<T, E> {
+    Err(E::custom(format!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+// ---------------------------------------------------------------- impls
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => unexpected("boolean", &other),
+        }
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($ty:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let v = match content {
+                    Content::U64(v) => v,
+                    other => return unexpected("unsigned integer", &other),
+                };
+                <$ty>::try_from(v).map_err(|_| {
+                    D::Error::custom(format!(
+                        "integer {v} out of range for {}", stringify!($ty)
+                    ))
+                })
+            }
+        })*
+    };
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let out = match content {
+                    Content::I64(v) => <$ty>::try_from(v).ok(),
+                    Content::U64(v) => <$ty>::try_from(v).ok(),
+                    other => return unexpected("integer", &other),
+                };
+                out.ok_or_else(|| {
+                    D::Error::custom(format!("integer out of range for {}", stringify!($ty)))
+                })
+            }
+        })*
+    };
+}
+
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => unexpected("number", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s.to_owned()),
+            Content::String(s) => Ok(s),
+            other => unexpected("string", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for &'de str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            Content::String(_) => Err(D::Error::custom("cannot borrow escaped string as &str")),
+            other => unexpected("string", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        let s = content
+            .as_str()
+            .ok_or_else(|| D::Error::custom("expected single-character string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => unexpected("null", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            content => T::deserialize(ContentDeserializer::<D::Error>::new(content)).map(Some),
+        }
+    }
+
+    fn missing_field<E: Error>(_field: &'static str) -> Result<Self, E> {
+        Ok(None)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|item| T::deserialize(ContentDeserializer::<D::Error>::new(item)))
+                .collect(),
+            other => unexpected("sequence", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident),+))*) => {
+        $(impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                const LEN: usize = deserialize_tuple!(@count $($name)+);
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) => {
+                        if items.len() != LEN {
+                            return Err(__D::Error::custom(format!(
+                                "expected tuple of length {LEN}, got {}", items.len()
+                            )));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok(($({
+                            let item = iter.next().expect("length checked");
+                            $name::deserialize(ContentDeserializer::<__D::Error>::new(item))?
+                        },)+))
+                    }
+                    other => unexpected("sequence", &other),
+                }
+            }
+        })*
+    };
+    (@count $($name:ident)+) => { [$(deserialize_tuple!(@one $name)),+].len() };
+    (@one $name:ident) => { () };
+}
+
+deserialize_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        K::deserialize(ContentDeserializer::<D::Error>::new(k))?,
+                        V::deserialize(ContentDeserializer::<D::Error>::new(v))?,
+                    ))
+                })
+                .collect(),
+            other => unexpected("map", &other),
+        }
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        K::deserialize(ContentDeserializer::<D::Error>::new(k))?,
+                        V::deserialize(ContentDeserializer::<D::Error>::new(v))?,
+                    ))
+                })
+                .collect(),
+            other => unexpected("map", &other),
+        }
+    }
+}

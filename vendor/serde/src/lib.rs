@@ -1,0 +1,18 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The serialization side mirrors real serde's `Serializer` shape (the
+//! workspace contains hand-written `Serialize` impls against it). The
+//! deserialization side is simplified to a concrete self-describing
+//! content model ([`de::Content`]): a `Deserializer` produces a content
+//! tree and `Deserialize` impls pattern-match it. This trades serde's
+//! zero-copy visitor machinery for something small enough to vendor,
+//! while keeping the public trait names and module paths the code uses.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,565 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote`: the item is parsed by walking its raw `TokenTree`s and
+//! the impls are emitted by building Rust source strings and re-parsing
+//! them into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - structs with named fields
+//! - single-field tuple structs (serialized as the inner value, which
+//!   also covers `#[serde(transparent)]`)
+//! - enums with unit variants, newtype variants, and struct variants
+//!   (externally tagged, like real serde)
+//!
+//! Supported attributes: `#[serde(transparent)]` on containers and
+//! `#[serde(skip)]` on named fields (omitted when serializing, filled
+//! from `Default` when deserializing). Anything else is a compile error
+//! rather than a silent behavior change.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype(String),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(String),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let source = match parse_input(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("::std::compile_error!({:?});", msg),
+    };
+    source
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}"))
+}
+
+// ------------------------------------------------------------- parsing
+
+/// Consumes leading `#[...]` attributes, returning the idents found
+/// inside `#[serde(...)]` ones (all other attributes are ignored).
+fn parse_attrs(iter: &mut TokenIter) -> Result<Vec<String>, String> {
+    let mut serde_idents = Vec::new();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                let group = match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    _ => return Err("expected [...] after #".into()),
+                };
+                let mut inner = group.stream().into_iter().peekable();
+                if let Some(TokenTree::Ident(id)) = inner.peek() {
+                    if id.to_string() == "serde" {
+                        inner.next();
+                        let args = match inner.next() {
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                g
+                            }
+                            _ => return Err("expected serde(...)".into()),
+                        };
+                        for tt in args.stream() {
+                            match tt {
+                                TokenTree::Ident(id) => serde_idents.push(id.to_string()),
+                                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                                other => {
+                                    return Err(format!(
+                                        "unsupported serde attribute token `{other}`"
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return Ok(serde_idents),
+        }
+    }
+}
+
+/// Consumes `pub` / `pub(...)` if present.
+fn skip_visibility(iter: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(iter: &mut TokenIter, what: &str) -> Result<String, String> {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected {what}, found {other:?}")),
+    }
+}
+
+/// Consumes tokens up to (and including) a top-level `,`, tracking
+/// angle-bracket depth so commas inside generics don't split. Returns
+/// the consumed tokens rendered as source.
+fn take_until_comma(iter: &mut TokenIter) -> String {
+    let mut out = String::new();
+    let mut depth: i32 = 0;
+    let mut prev_dash = false;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            if p.as_char() == ',' && depth == 0 {
+                iter.next();
+                break;
+            }
+        }
+        let tt = iter.next().expect("peeked");
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                // `->` must not close an angle bracket.
+                '>' if !prev_dash => depth -= 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        out.push_str(&tt.to_string());
+        out.push(' ');
+    }
+    out
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and struct
+/// variant bodies).
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while iter.peek().is_some() {
+        let attrs = parse_attrs(&mut iter)?;
+        for attr in &attrs {
+            if attr != "skip" {
+                return Err(format!("unsupported field attribute `#[serde({attr})]`"));
+            }
+        }
+        skip_visibility(&mut iter);
+        let name = expect_ident(&mut iter, "field name")?;
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        let ty = take_until_comma(&mut iter);
+        if ty.trim().is_empty() {
+            return Err(format!("missing type for field `{name}`"));
+        }
+        fields.push(Field {
+            name,
+            ty,
+            skip: attrs.iter().any(|a| a == "skip"),
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while iter.peek().is_some() {
+        let attrs = parse_attrs(&mut iter)?;
+        if let Some(attr) = attrs.first() {
+            return Err(format!("unsupported variant attribute `#[serde({attr})]`"));
+        }
+        let name = expect_ident(&mut iter, "variant name")?;
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Struct(parse_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                let has_top_level_comma = {
+                    let mut depth = 0i32;
+                    let mut found = false;
+                    let mut prev_dash = false;
+                    let mut trailing = true;
+                    for tt in g.stream() {
+                        trailing = false;
+                        if let TokenTree::Punct(p) = &tt {
+                            match p.as_char() {
+                                '<' => depth += 1,
+                                '>' if !prev_dash => depth -= 1,
+                                ',' if depth == 0 => {
+                                    found = true;
+                                    trailing = true;
+                                }
+                                _ => {}
+                            }
+                            prev_dash = p.as_char() == '-';
+                        } else {
+                            prev_dash = false;
+                        }
+                    }
+                    found && !trailing
+                };
+                if has_top_level_comma {
+                    return Err(format!(
+                        "multi-field tuple variant `{name}` is not supported"
+                    ));
+                }
+                let ty = g
+                    .stream()
+                    .into_iter()
+                    .map(|tt| tt.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                VariantKind::Newtype(ty.trim_end_matches([' ', ',']).to_string())
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present, then the
+        // separating comma.
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                iter.next();
+                take_until_comma(&mut iter);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                iter.next();
+            }
+            None => {}
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    let container_attrs = parse_attrs(&mut iter)?;
+    for attr in &container_attrs {
+        if attr != "transparent" {
+            return Err(format!(
+                "unsupported container attribute `#[serde({attr})]`"
+            ));
+        }
+    }
+    skip_visibility(&mut iter);
+    let kw = expect_ident(&mut iter, "`struct` or `enum`")?;
+    let name = expect_ident(&mut iter, "type name")?;
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported"));
+        }
+    }
+    let data = match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut inner = g.stream().into_iter().peekable();
+                parse_attrs(&mut inner)?;
+                skip_visibility(&mut inner);
+                let ty = take_until_comma(&mut inner);
+                if inner.peek().is_some() {
+                    return Err(format!(
+                        "tuple struct `{name}` with more than one field is not supported"
+                    ));
+                }
+                Data::TupleStruct(ty)
+            }
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, data })
+}
+
+// ------------------------------------------------------------- codegen
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n";
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut body = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {})?;\n",
+                live.len()
+            );
+            for f in &live {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __state, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            body
+        }
+        Data::TupleStruct(_) => {
+            "::serde::ser::Serialize::serialize(&self.0, __serializer)\n".to_string()
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Newtype(_) => arms.push_str(&format!(
+                        "{name}::{vname}(__field0) => \
+                         ::serde::ser::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\", __field0),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let pattern = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {pattern} }} => {{\n\
+                             let mut __state = \
+                             ::serde::ser::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __state, \"{0}\", {0})?;\n",
+                                f.name
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Emits a block expression that consumes a `Content` expression
+/// expected to be a map and evaluates to `Result<ctor { .. }, E>`.
+fn gen_fields_from_map(content_expr: &str, ctor: &str, fields: &[Field]) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    let mut out = format!(
+        "{{\nlet __entries = match {content_expr} {{\n\
+         ::serde::de::Content::Map(__entries) => __entries,\n\
+         __other => return ::std::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+         \"expected map for `{ctor}`, found {{}}\", \
+         ::serde::de::Content::kind(&__other)))),\n}};\n"
+    );
+    for f in &live {
+        out.push_str(&format!(
+            "let mut __f_{}: ::std::option::Option<{}> = ::std::option::Option::None;\n",
+            f.name, f.ty
+        ));
+    }
+    if !live.is_empty() {
+        out.push_str("for (__key, __val) in __entries {\n");
+        out.push_str("match ::serde::de::Content::as_str(&__key) {\n");
+        for f in &live {
+            out.push_str(&format!(
+                "::std::option::Option::Some(\"{0}\") => {{ __f_{0} = \
+                 ::std::option::Option::Some(<{1} as ::serde::de::Deserialize<'de>>\
+                 ::deserialize(::serde::de::ContentDeserializer::<__D::Error>::new(__val))?); \
+                 }}\n",
+                f.name, f.ty
+            ));
+        }
+        out.push_str("_ => {}\n}\n}\n");
+    } else {
+        out.push_str("let _ = __entries;\n");
+    }
+    out.push_str(&format!("::std::result::Result::Ok({ctor} {{\n"));
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{0}: match __f_{0} {{\n\
+                 ::std::option::Option::Some(__v) => __v,\n\
+                 ::std::option::Option::None => \
+                 <{1} as ::serde::de::Deserialize<'de>>::missing_field::<__D::Error>(\"{0}\")?,\n\
+                 }},\n",
+                f.name, f.ty
+            ));
+        }
+    }
+    out.push_str("})\n}\n");
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut body = String::from(
+                "let __content = ::serde::de::Deserializer::deserialize_content(__deserializer)?;\n",
+            );
+            body.push_str(&gen_fields_from_map("__content", name, fields));
+            body
+        }
+        Data::TupleStruct(ty) => format!(
+            "::std::result::Result::Ok({name}(\
+             <{ty} as ::serde::de::Deserialize<'de>>::deserialize(__deserializer)?))\n"
+        ),
+        Data::Enum(variants) => {
+            let has_unit = variants.iter().any(|v| matches!(v.kind, VariantKind::Unit));
+            let has_data = variants
+                .iter()
+                .any(|v| !matches!(v.kind, VariantKind::Unit));
+            let mut body = String::from(
+                "let __content = ::serde::de::Deserializer::deserialize_content(__deserializer)?;\n\
+                 match __content {\n",
+            );
+            if has_unit {
+                let mut str_arms = String::new();
+                for v in variants {
+                    if matches!(v.kind, VariantKind::Unit) {
+                        str_arms.push_str(&format!(
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                            v.name
+                        ));
+                    }
+                }
+                str_arms.push_str(&format!(
+                    "__other => ::std::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"unknown variant `{{__other}}` of enum `{name}`\"))),\n"
+                ));
+                body.push_str(&format!(
+                    "::serde::de::Content::Str(__s) => match __s {{\n{str_arms}}},\n\
+                     ::serde::de::Content::String(ref __owned) => match __owned.as_str() \
+                     {{\n{str_arms}}},\n"
+                ));
+            }
+            if has_data {
+                let mut var_arms = String::new();
+                for v in variants {
+                    match &v.kind {
+                        VariantKind::Unit => {}
+                        VariantKind::Newtype(ty) => var_arms.push_str(&format!(
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}(\
+                             <{ty} as ::serde::de::Deserialize<'de>>::deserialize(\
+                             ::serde::de::ContentDeserializer::<__D::Error>::new(__value))?)),\n",
+                            v.name
+                        )),
+                        VariantKind::Struct(fields) => var_arms.push_str(&format!(
+                            "\"{0}\" => {1}\n",
+                            v.name,
+                            gen_fields_from_map("__value", &format!("{name}::{}", v.name), fields)
+                        )),
+                    }
+                }
+                var_arms.push_str(&format!(
+                    "__other => ::std::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"unknown variant `{{__other}}` of enum `{name}`\"))),\n"
+                ));
+                body.push_str(&format!(
+                    "::serde::de::Content::Map(__entries) => {{\n\
+                     let mut __iter = __entries.into_iter();\n\
+                     let (__key, __value) = match (__iter.next(), __iter.next()) {{\n\
+                     (::std::option::Option::Some(__entry), ::std::option::Option::None) \
+                     => __entry,\n\
+                     _ => return ::std::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                     \"expected a single-entry map for enum `{name}`\")),\n}};\n\
+                     let __variant = match ::serde::de::Content::as_str(&__key) {{\n\
+                     ::std::option::Option::Some(__v) => \
+                     ::std::string::ToString::to_string(__v),\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                     \"expected string variant key for enum `{name}`\")),\n}};\n\
+                     match __variant.as_str() {{\n{var_arms}}}\n}},\n"
+                ));
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                 \"unexpected {{}} for enum `{name}`\", \
+                 ::serde::de::Content::kind(&__other)))),\n}}\n"
+            ));
+            body
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+    )
+}

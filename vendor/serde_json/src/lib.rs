@@ -1,0 +1,880 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Serializes through the vendored `serde::ser::Serializer` trait and
+//! parses into the vendored `serde::de::Content` model. Only the API
+//! surface the workspace uses is provided: [`to_string`],
+//! [`to_string_pretty`], and [`from_str`].
+//!
+//! Formatting intentionally matches the real crate's layout (compact
+//! with no spaces; pretty with two-space indent, `[]`/`{}` for empty
+//! containers) so golden output is stable. Floats are written with the
+//! standard library's shortest-roundtrip formatter rather than ryu; the
+//! output differs from real serde_json only in cosmetic cases like
+//! `1` vs `1.0`, and always round-trips through [`from_str`].
+
+use serde::de::{Content, ContentDeserializer};
+use serde::{de, ser};
+use std::fmt::{self, Display, Write as _};
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: ser::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut writer = Writer {
+        out: String::new(),
+        pretty: false,
+        depth: 0,
+    };
+    value.serialize(&mut writer)?;
+    Ok(writer.out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: ser::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut writer = Writer {
+        out: String::new(),
+        pretty: true,
+        depth: 0,
+    };
+    value.serialize(&mut writer)?;
+    Ok(writer.out)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<'de, T: de::Deserialize<'de>>(input: &'de str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    parser.skip_ws();
+    let content = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    T::deserialize(ContentDeserializer::<Error>::new(content))
+}
+
+// ------------------------------------------------------------ writing
+
+struct Writer {
+    out: String,
+    pretty: bool,
+    depth: usize,
+}
+
+impl Writer {
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        write_escaped_into(&mut self.out, s);
+    }
+
+    fn colon(&mut self) {
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Comma/newline bookkeeping before an element or key.
+    fn before_item(&mut self, has_items: &mut bool) {
+        if *has_items {
+            self.out.push(',');
+        }
+        if self.pretty {
+            self.newline_indent();
+        }
+        *has_items = true;
+    }
+
+    /// Closes a container opened with `open`; `close` is `]` or `}`.
+    fn close(&mut self, has_items: bool, close: char) {
+        self.depth -= 1;
+        if has_items && self.pretty {
+            self.newline_indent();
+        }
+        self.out.push(close);
+    }
+}
+
+fn write_escaped_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compound state for sequences and tuples.
+pub struct SeqWriter<'a> {
+    writer: &'a mut Writer,
+    has_items: bool,
+}
+
+/// Compound state for maps.
+pub struct MapWriter<'a> {
+    writer: &'a mut Writer,
+    has_items: bool,
+}
+
+/// Compound state for structs.
+pub struct StructWriter<'a> {
+    writer: &'a mut Writer,
+    has_items: bool,
+}
+
+/// Compound state for struct variants (closes both the inner object and
+/// the outer `{"Variant": ...}` wrapper).
+pub struct VariantWriter<'a> {
+    writer: &'a mut Writer,
+    has_items: bool,
+}
+
+impl<'a> ser::Serializer for &'a mut Writer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = SeqWriter<'a>;
+    type SerializeTuple = SeqWriter<'a>;
+    type SerializeMap = MapWriter<'a>;
+    type SerializeStruct = StructWriter<'a>;
+    type SerializeStructVariant = VariantWriter<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.write_escaped(v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ser::Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.write_escaped(variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ser::Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ser::Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        self.depth += 1;
+        if self.pretty {
+            self.newline_indent();
+        }
+        self.write_escaped(variant);
+        self.colon();
+        value.serialize(&mut *self)?;
+        self.depth -= 1;
+        if self.pretty {
+            self.newline_indent();
+        }
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SeqWriter<'a>, Error> {
+        self.out.push('[');
+        self.depth += 1;
+        Ok(SeqWriter {
+            writer: self,
+            has_items: false,
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<SeqWriter<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapWriter<'a>, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(MapWriter {
+            writer: self,
+            has_items: false,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<StructWriter<'a>, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(StructWriter {
+            writer: self,
+            has_items: false,
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<VariantWriter<'a>, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        if self.pretty {
+            self.newline_indent();
+        }
+        self.write_escaped(variant);
+        self.colon();
+        self.out.push('{');
+        self.depth += 1;
+        Ok(VariantWriter {
+            writer: self,
+            has_items: false,
+        })
+    }
+}
+
+impl ser::SerializeSeq for SeqWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ser::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.writer.before_item(&mut self.has_items);
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.writer.close(self.has_items, ']');
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for SeqWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ser::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeMap for MapWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: ser::Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+        self.writer.before_item(&mut self.has_items);
+        key.serialize(MapKeySerializer {
+            writer: &mut *self.writer,
+        })
+    }
+
+    fn serialize_value<T: ser::Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.writer.colon();
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.writer.close(self.has_items, '}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for StructWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ser::Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.writer.before_item(&mut self.has_items);
+        self.writer.write_escaped(key);
+        self.writer.colon();
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.writer.close(self.has_items, '}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for VariantWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ser::Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.writer.before_item(&mut self.has_items);
+        self.writer.write_escaped(key);
+        self.writer.colon();
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.writer.close(self.has_items, '}');
+        let pretty = self.writer.pretty;
+        self.writer.depth -= 1;
+        if pretty {
+            self.writer.newline_indent();
+        }
+        self.writer.out.push('}');
+        Ok(())
+    }
+}
+
+/// Serializer for map keys: only values with a natural string form are
+/// accepted, and numbers are quoted, matching real serde_json.
+struct MapKeySerializer<'a> {
+    writer: &'a mut Writer,
+}
+
+/// Uninhabited compound state for serializers that reject containers.
+pub enum Impossible {}
+
+macro_rules! impossible_compound {
+    ($($trait:ident $method:ident),*) => {
+        $(impl ser::$trait for Impossible {
+            type Ok = ();
+            type Error = Error;
+            fn $method<T: ser::Serialize + ?Sized>(
+                &mut self,
+                _: &T,
+            ) -> Result<(), Error> {
+                match *self {}
+            }
+            fn end(self) -> Result<(), Error> {
+                match self {}
+            }
+        })*
+    };
+}
+
+impossible_compound!(SerializeSeq serialize_element, SerializeTuple serialize_element);
+
+impl ser::SerializeMap for Impossible {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_key<T: ser::Serialize + ?Sized>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn serialize_value<T: ser::Serialize + ?Sized>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self {}
+    }
+}
+
+macro_rules! impossible_struct {
+    ($($trait:ident),*) => {
+        $(impl ser::$trait for Impossible {
+            type Ok = ();
+            type Error = Error;
+            fn serialize_field<T: ser::Serialize + ?Sized>(
+                &mut self,
+                _: &'static str,
+                _: &T,
+            ) -> Result<(), Error> {
+                match *self {}
+            }
+            fn end(self) -> Result<(), Error> {
+                match self {}
+            }
+        })*
+    };
+}
+
+impossible_struct!(SerializeStruct, SerializeStructVariant);
+
+fn key_error(kind: &str) -> Error {
+    Error::new(format!("JSON map key must be a string, got {kind}"))
+}
+
+impl ser::Serializer for MapKeySerializer<'_> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Impossible;
+    type SerializeTuple = Impossible;
+    type SerializeMap = Impossible;
+    type SerializeStruct = Impossible;
+    type SerializeStructVariant = Impossible;
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.writer.write_escaped(v);
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.writer.write_escaped(variant);
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        let _ = write!(self.writer.out, "\"{v}\"");
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        let _ = write!(self.writer.out, "\"{v}\"");
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ser::Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_bool(self, _: bool) -> Result<(), Error> {
+        Err(key_error("bool"))
+    }
+    fn serialize_f64(self, _: f64) -> Result<(), Error> {
+        Err(key_error("float"))
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        Err(key_error("null"))
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        Err(key_error("null"))
+    }
+    fn serialize_some<T: ser::Serialize + ?Sized>(self, _: &T) -> Result<(), Error> {
+        Err(key_error("option"))
+    }
+    fn serialize_newtype_variant<T: ser::Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: &T,
+    ) -> Result<(), Error> {
+        Err(key_error("enum variant"))
+    }
+    fn serialize_seq(self, _: Option<usize>) -> Result<Impossible, Error> {
+        Err(key_error("sequence"))
+    }
+    fn serialize_tuple(self, _: usize) -> Result<Impossible, Error> {
+        Err(key_error("tuple"))
+    }
+    fn serialize_map(self, _: Option<usize>) -> Result<Impossible, Error> {
+        Err(key_error("map"))
+    }
+    fn serialize_struct(self, _: &'static str, _: usize) -> Result<Impossible, Error> {
+        Err(key_error("struct"))
+    }
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Impossible, Error> {
+        Err(key_error("enum variant"))
+    }
+}
+
+// ------------------------------------------------------------ parsing
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'de> {
+    input: &'de str,
+    bytes: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> Parser<'de> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Content<'de>, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'"') => self.parse_string(),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(Error::new("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.parse_value(depth + 1)?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(Error::new("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::new(format!(
+                "unexpected character `{}` at offset {}",
+                other as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Content<'de>) -> Result<Content<'de>, Error> {
+        if self.input[self.pos..].starts_with(keyword) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content<'de>, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if text == "-" || text.is_empty() {
+            return Err(Error::new("invalid number"));
+        }
+        if !is_float {
+            if negative {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Content::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<Content<'de>, Error> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        // Fast path: borrow the slice when there are no escapes.
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let s = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return Ok(Content::Str(s));
+                }
+                Some(b'\\') => break,
+                Some(b) if b < 0x20 => {
+                    return Err(Error::new("unescaped control character in string"))
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+        // Slow path: build an owned string with unescaping.
+        let mut owned = self.input[start..self.pos].to_string();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(Content::String(owned));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => owned.push('"'),
+                        b'\\' => owned.push('\\'),
+                        b'/' => owned.push('/'),
+                        b'n' => owned.push('\n'),
+                        b't' => owned.push('\t'),
+                        b'r' => owned.push('\r'),
+                        b'b' => owned.push('\u{08}'),
+                        b'f' => owned.push('\u{0c}'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let second = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&second) {
+                                        return Err(Error::new("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                                } else {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&first) {
+                                return Err(Error::new("unpaired low surrogate"));
+                            } else {
+                                first
+                            };
+                            owned.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(Error::new("unescaped control character in string"))
+                }
+                Some(_) => {
+                    let rest = &self.input[self.pos..];
+                    let c = rest.chars().next().expect("non-empty");
+                    owned.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| Error::new("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi \"you\"").unwrap(), "\"hi \\\"you\\\"\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&json).unwrap(), v);
+
+        let nested: Vec<(u32, String)> = vec![(1, "a".into()), (2, "b".into())];
+        let json = to_string(&nested).unwrap();
+        assert_eq!(json, "[[1,\"a\"],[2,\"b\"]]");
+        assert_eq!(from_str::<Vec<(u32, String)>>(&json).unwrap(), nested);
+    }
+
+    #[test]
+    fn pretty_layout_matches_serde_json() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+        let empty: Vec<u32> = vec![];
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("12 34").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+    }
+}
