@@ -8,17 +8,23 @@
 //! repro --out DIR       # write each artifact to DIR/<id>.txt
 //! repro --list          # list experiment ids
 //! repro --pipeline-bench  # time pass pipeline vs pre-refactor baseline
+//! repro --ctx-bench     # time columnar context build vs PR 2 path,
+//!                       # emit BENCH_context.json
+//! repro --ctx-bench --smoke  # small trace, equivalence assertions only
 //! ```
 
-use ddos_analytics::AnalysisReport;
+use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
 use ddos_report::{compare, paper_comparisons, render, EXPERIMENTS};
 use ddos_sim::{generate, SimConfig};
+use ddos_stats::ArimaSpec;
 
 fn main() {
     let mut scale = 1.0f64;
     let mut ids: Vec<String> = Vec::new();
     let mut emit_md = false;
     let mut pipeline_bench = false;
+    let mut ctx_bench = false;
+    let mut smoke = false;
     let mut out_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +38,8 @@ fn main() {
             "--out" => out_dir = Some(args.next().expect("--out takes a directory")),
             "--md" => emit_md = true,
             "--pipeline-bench" => pipeline_bench = true,
+            "--ctx-bench" => ctx_bench = true,
+            "--smoke" => smoke = true,
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{:<4} {} — {}", e.id, e.title, e.description);
@@ -42,6 +50,10 @@ fn main() {
         }
     }
 
+    if ctx_bench {
+        run_ctx_bench(scale, smoke);
+        return;
+    }
     if pipeline_bench {
         run_pipeline_bench(scale);
         return;
@@ -105,9 +117,6 @@ fn main() {
 /// on a freshly generated trace and prints per-pass timings plus the
 /// end-to-end speedup.
 fn run_pipeline_bench(scale: f64) {
-    use ddos_analytics::PipelineOptions;
-    use ddos_stats::ArimaSpec;
-
     eprintln!("generating trace at scale {scale}...");
     let trace = generate(&SimConfig {
         scale,
@@ -158,6 +167,139 @@ fn run_pipeline_bench(scale: f64) {
         "speedup:                        {:>8.2}x",
         base_s / pipe_s.min(serial_s)
     );
+}
+
+/// Times the context build across its three implementations — the PR 2
+/// reference path (hash join + scalar trig), the columnar serial build,
+/// and the columnar parallel build — asserts all three are
+/// analysis-equivalent (dispersion series bit-identical) and the final
+/// reports byte-identical, then writes `BENCH_context.json`.
+///
+/// With `--smoke` the run uses the small simulated trace, performs only
+/// the equivalence assertions plus a single timed round, and writes no
+/// file — the CI-friendly mode.
+fn run_ctx_bench(scale: f64, smoke: bool) {
+    let cfg = if smoke {
+        SimConfig::small()
+    } else {
+        SimConfig {
+            scale,
+            ..SimConfig::default()
+        }
+    };
+    eprintln!("generating trace (scale {})...", cfg.scale);
+    let trace = generate(&cfg);
+    let ds = &trace.dataset;
+    let participations: usize = ds.attacks().iter().map(|a| a.sources.len()).sum();
+    eprintln!(
+        "generated {} attacks, {} bot records, {} participations",
+        ds.attacks().len(),
+        ds.bots().len(),
+        participations
+    );
+
+    // Correctness first: the columnar builds must carry the exact
+    // analysis inputs of the reference build, bit for bit.
+    let reference = AnalysisContext::build_reference(ds, ArimaSpec::DEFAULT);
+    let serial = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, false);
+    let parallel = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, true);
+    serial.assert_same_analysis(&reference);
+    serial.assert_same_analysis(&parallel);
+    drop((reference, serial, parallel));
+    eprintln!("context equivalence: reference == columnar serial == columnar parallel");
+
+    // And the reports the builds feed must serialize identically.
+    let parallel_report = AnalysisReport::run(ds);
+    let serial_report = AnalysisReport::run_opts(
+        ds,
+        PipelineOptions {
+            parallel: false,
+            ..PipelineOptions::default()
+        },
+    );
+    let pj = serde_json::to_string(&parallel_report).expect("report serializes");
+    let sj = serde_json::to_string(&serial_report).expect("report serializes");
+    assert_eq!(pj, sj, "parallel and serial context reports diverged");
+    drop((serial_report, pj, sj));
+    eprintln!("report equivalence: parallel == serial");
+
+    // Interleaved rounds (reference, serial, parallel per round) with
+    // best-of-N per variant: systematic drift (thermal, noisy-neighbor)
+    // hits every variant alike instead of whichever ran last, and the
+    // context drop happens outside the timed region.
+    let rounds = if smoke { 1 } else { 5 };
+    let mut reference_s = f64::MAX;
+    let mut serial_s = f64::MAX;
+    let mut parallel_s = f64::MAX;
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        let ctx = AnalysisContext::build_reference(ds, ArimaSpec::DEFAULT);
+        reference_s = reference_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(ctx));
+
+        let t = std::time::Instant::now();
+        let ctx = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, false);
+        serial_s = serial_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(ctx));
+
+        let t = std::time::Instant::now();
+        let ctx = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, true);
+        parallel_s = parallel_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(ctx));
+    }
+    let mut pipeline_s = f64::MAX;
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        let report = AnalysisReport::run(ds);
+        pipeline_s = pipeline_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(report));
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("context build (best of {rounds}):");
+    println!("  reference (PR 2 path):   {reference_s:>8.3} s");
+    println!("  columnar serial:         {serial_s:>8.3} s");
+    println!("  columnar parallel:       {parallel_s:>8.3} s  ({threads} threads)");
+    println!(
+        "  speedup (parallel/ref):  {:>8.2}x",
+        reference_s / parallel_s
+    );
+    println!(
+        "  resolves/sec (parallel): {:>12.0}",
+        participations as f64 / parallel_s
+    );
+    println!("full pipeline (parallel):  {pipeline_s:>8.3} s");
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_context.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"trace\": {{\n    \"scale\": {},\n    \"attacks\": {},\n    \
+         \"bot_records\": {},\n    \"participations\": {}\n  }},\n  \
+         \"context_build\": {{\n    \"reference_s\": {:.6},\n    \
+         \"columnar_serial_s\": {:.6},\n    \"columnar_parallel_s\": {:.6},\n    \
+         \"speedup_serial_vs_reference\": {:.3},\n    \
+         \"speedup_parallel_vs_reference\": {:.3},\n    \
+         \"resolves_per_sec_parallel\": {:.0}\n  }},\n  \
+         \"full_pipeline_parallel_s\": {:.6},\n  \"threads\": {},\n  \
+         \"rounds\": {}\n}}\n",
+        cfg.scale,
+        ds.attacks().len(),
+        ds.bots().len(),
+        participations,
+        reference_s,
+        serial_s,
+        parallel_s,
+        reference_s / serial_s,
+        reference_s / parallel_s,
+        participations as f64 / parallel_s,
+        pipeline_s,
+        threads,
+        rounds,
+    );
+    std::fs::write("BENCH_context.json", &json).expect("writing BENCH_context.json");
+    eprintln!("wrote BENCH_context.json");
 }
 
 /// Renders the EXPERIMENTS.md body from the comparison rows.

@@ -8,6 +8,17 @@
 //! shared joins into one construction step so each is computed exactly
 //! once and borrowed by every pass.
 //!
+//! Since the columnar substrate ([`crate::columnar`]) the build itself is
+//! the hot kernel treated as such: the `Botlist` becomes a [`BotTable`]
+//! (sorted IP column + precomputed trig), the attack→source join becomes
+//! a [`SourceTable`] (every source list as dense `u32` dictionary ids),
+//! the per-snapshot dispersion runs through the `*_precomp` kernels of
+//! `ddos-geo` that read cached `sin`/`cos` instead of recomputing each
+//! bot's trigonometry per attack-participation, and the per-family
+//! resolution fans out on scoped threads in deterministic chunks.
+//! [`AnalysisContext::build_reference`] keeps the pre-columnar serial
+//! path as the equivalence/benchmark baseline.
+//!
 //! # Invariants
 //!
 //! The context is *read-only* and derived purely from the dataset (plus
@@ -19,23 +30,33 @@
 //! * `target_timelines` is sorted by target IP; each timeline's attack
 //!   indices are ascending, hence in start order.
 //! * The per-family slots ([`FamilyContext`]) follow [`Family::ACTIVE`]
-//!   order. Each family's `starts` are ascending; its `dispersion` is
-//!   bit-identical to what [`FamilyDispersion::compute`] produces; its
-//!   `weekly_bots` maps hold exactly the resolvable `(bot, country)`
-//!   participations per window week.
+//!   order (slot `i` holds `Family::ACTIVE[i]`, whose dense
+//!   [`Family::index`] is also `i`). Each family's `starts` are
+//!   ascending; its `dispersion` is bit-identical to what
+//!   [`FamilyDispersion::compute`] produces; its `weekly_bots` maps hold
+//!   exactly the resolvable `(bot, country)` participations per window
+//!   week.
+//! * Parallel and serial builds are **bit-identical**: chunks merge in
+//!   (family, chunk) order, and the precomp kernels evaluate the exact
+//!   scalar expressions (see `ddos_geo::trig`). The pipeline-equivalence
+//!   suite enforces this against [`AnalysisContext::build_reference`].
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use ddos_geo::dispersion;
+use ddos_geo::{dispersion, dispersion_precomp_indexed};
 use ddos_schema::{CountryCode, Dataset, Family, IpAddr4, Timestamp};
 use ddos_stats::ArimaSpec;
 
+use crate::columnar::{
+    chunk_ranges, radix_sort_by_ip, worker_count, BotTable, SourceTable, NO_BOT,
+};
 use crate::source::dispersion::FamilyDispersion;
 use crate::util::{BotIndex, IpMap};
 
 /// One target's attack history: indices into `Dataset::attacks()`,
 /// ascending (therefore in start order).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TargetTimeline {
     /// The victim IP.
     pub target: IpAddr4,
@@ -44,7 +65,7 @@ pub struct TargetTimeline {
 }
 
 /// Per-family precomputation, one slot per [`Family::ACTIVE`] entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FamilyContext {
     /// The family.
     pub family: Family,
@@ -66,8 +87,12 @@ pub struct AnalysisContext<'a> {
     pub dataset: &'a Dataset,
     /// ARIMA order for the prediction pass.
     pub spec: ArimaSpec,
-    /// The `Botlist` join (bot IP → country + coordinates).
-    pub bots: BotIndex,
+    /// The `Botlist` as a columnar table: sorted IPs, countries, and
+    /// per-bot precomputed trigonometry.
+    pub bot_table: BotTable,
+    /// The trace-wide attack→source join: every attack's source list as
+    /// dense dictionary ids, with an id → bot-row column.
+    pub sources: SourceTable,
     /// Duration in seconds of each attack, in trace order.
     pub durations: Vec<f64>,
     /// Start time of each attack, in trace order.
@@ -78,18 +103,328 @@ pub struct AnalysisContext<'a> {
     families: Vec<FamilyContext>,
 }
 
+/// A reusable last-seen-week stamp buffer, one slot per dictionary id.
+///
+/// Each chunk gets a fresh, disjoint tag range (`tag_base + week`), so
+/// the buffer is valid across chunks without re-zeroing — a worker
+/// allocates it once instead of clearing `dict_len` slots per family.
+#[derive(Default)]
+struct WeekStamp {
+    tags: Vec<u32>,
+    next_base: u32,
+}
+
+impl WeekStamp {
+    /// Starts a new chunk: sizes the buffer on first use and claims an
+    /// unused tag range. Tag 0 is reserved as "never stamped".
+    fn begin(&mut self, dict_len: usize, num_weeks: usize) -> u32 {
+        if self.tags.len() < dict_len {
+            self.tags.resize(dict_len, 0);
+        }
+        let span = num_weeks.max(1) as u32;
+        if self.next_base == 0 {
+            // First use: the buffer is already zeroed.
+            self.next_base = 1;
+        } else if self.next_base > u32::MAX - span {
+            // Theoretical tag exhaustion: start over.
+            self.tags.fill(0);
+            self.next_base = 1;
+        }
+        let base = self.next_base;
+        self.next_base += span;
+        base
+    }
+}
+
+/// One chunk's share of a family's resolution: everything the merge
+/// needs, accumulated in the chunk's attack order.
+struct FamilyChunk {
+    starts: Vec<Timestamp>,
+    series: Vec<(Timestamp, f64)>,
+    /// Day indices of snapshots that produced a dispersion value (may
+    /// repeat; deduplicated at merge).
+    days: Vec<usize>,
+    weekly: Vec<IpMap<CountryCode>>,
+}
+
+/// Resolves one chunk of a family's attacks through the columnar
+/// substrate: dictionary ids → bot rows, then the indexed dispersion
+/// kernel reads the shared trig column in place through the row list —
+/// no per-snapshot gather copy. Mirrors the scalar loop of
+/// [`AnalysisContext::build_reference`] expression for expression.
+fn resolve_family_chunk(
+    dataset: &Dataset,
+    bots: &BotTable,
+    sources: &SourceTable,
+    attack_indices: &[u32],
+    num_weeks: usize,
+    stamp: &mut WeekStamp,
+) -> FamilyChunk {
+    let window = dataset.window();
+    let attacks = dataset.attacks();
+    let mut out = FamilyChunk {
+        starts: Vec::with_capacity(attack_indices.len()),
+        series: Vec::with_capacity(attack_indices.len()),
+        days: Vec::new(),
+        weekly: vec![IpMap::default(); num_weeks],
+    };
+    // Weekly pass — one stamp sweep dedups each week's participants
+    // (bots recur across many attacks of a week) and records the firsts
+    // flat; the maps then build in one tight pass, reserved at exactly
+    // their final size. Insertion order differs from the reference
+    // loop's attack-interleaved order, but the recorded (ip, country)
+    // set cannot — and a map's content is order-free.
+    //
+    // `ids_of(i)` mirrors `attacks[i].sources` one-to-one, so a
+    // first-of-the-week record reads its IP from the attack's own list
+    // rather than through the dictionary column.
+    let tag_base = stamp.begin(sources.dict_len(), num_weeks);
+    let tags = &mut stamp.tags[..];
+    let mut per_week = vec![0usize; num_weeks];
+    let mut firsts: Vec<(IpAddr4, CountryCode, u32)> = Vec::new();
+    for &ai in attack_indices {
+        let a = &attacks[ai as usize];
+        let Some(w) = window.week_index(a.start) else {
+            continue;
+        };
+        let tag = tag_base + w as u32;
+        for (k, &id) in sources.ids_of(ai as usize).iter().enumerate() {
+            if tags[id as usize] == tag {
+                continue;
+            }
+            tags[id as usize] = tag;
+            let row = sources.bot_row(id);
+            if row != NO_BOT {
+                per_week[w] += 1;
+                firsts.push((a.sources[k], bots.country(row), w as u32));
+            }
+        }
+    }
+    for (w, &n) in per_week.iter().enumerate() {
+        out.weekly[w].reserve(n);
+    }
+    for &(ip, country, w) in &firsts {
+        out.weekly[w as usize].insert(ip, country);
+    }
+    // Dispersion pass — a resolved id *is* its row (`bot_row` is an
+    // identity below `bots_len`), so the common all-resolved attack
+    // feeds its id slice to the kernel as the row list directly, with
+    // no per-id scan at all; only an attack with unresolvable sources
+    // filters its ids into the scratch buffer.
+    let mut rows: Vec<u32> = Vec::new();
+    for &ai in attack_indices {
+        let a = &attacks[ai as usize];
+        out.starts.push(a.start);
+        let ids = sources.ids_of(ai as usize);
+        let row_list: &[u32] = if sources.unresolved_in(ai as usize) == 0 {
+            ids
+        } else {
+            rows.clear();
+            rows.extend(
+                ids.iter()
+                    .copied()
+                    .filter(|&id| sources.bot_row(id) != NO_BOT),
+            );
+            &rows
+        };
+        let Some(d) = dispersion_precomp_indexed(bots.trigs(), row_list) else {
+            continue;
+        };
+        if let Some(day) = window.day_index(a.start) {
+            // Attacks arrive in start order, so days are nondecreasing:
+            // dedup against the last push (the merge treats `days` as a
+            // set, so only the distinct values matter).
+            if out.days.last() != Some(&day) {
+                out.days.push(day);
+            }
+        }
+        out.series.push((a.start, d.value()));
+    }
+    out
+}
+
 impl<'a> AnalysisContext<'a> {
     /// Builds the context with the default ARIMA order.
     pub fn new(dataset: &'a Dataset) -> AnalysisContext<'a> {
         Self::build(dataset, ArimaSpec::DEFAULT)
     }
 
-    /// Builds the context: one pass over the attacks for the global
-    /// vectors and timelines, plus one pass per active family that
-    /// resolves each attack source through the bot index exactly once
-    /// (feeding both the dispersion series and the weekly bot maps).
+    /// Builds the context on the columnar substrate with the build
+    /// phases parallelized (see [`AnalysisContext::build_opts`]).
     pub fn build(dataset: &'a Dataset, spec: ArimaSpec) -> AnalysisContext<'a> {
+        Self::build_opts(dataset, spec, true)
+    }
+
+    /// Builds the context on the columnar substrate.
+    ///
+    /// Phases: (1) the [`BotTable`] (sort + one trig precompute per
+    /// distinct bot), (2) the [`SourceTable`] CSR join (data-parallel
+    /// over disjoint output slices when `parallel`), (3) the global
+    /// per-attack vectors and target timelines, (4) per-family source
+    /// resolution — each family's attack list is cut into chunks that
+    /// scoped worker threads drain from a shared queue, and the chunk
+    /// results merge in (family, chunk) order, so the output is
+    /// bit-identical to the serial build.
+    pub fn build_opts(
+        dataset: &'a Dataset,
+        spec: ArimaSpec,
+        parallel: bool,
+    ) -> AnalysisContext<'a> {
+        let bot_table = BotTable::build(dataset);
+        let sources = SourceTable::build(dataset, &bot_table, parallel);
+        let window = dataset.window();
+        let attacks = dataset.attacks();
+
+        let mut durations = Vec::with_capacity(attacks.len());
+        let mut all_starts = Vec::with_capacity(attacks.len());
+        for a in attacks {
+            durations.push(a.duration().as_f64());
+            all_starts.push(a.start);
+        }
+        // Target timelines columnar-style: radix-sort packed
+        // `(target, index)` keys and slice the runs, instead of a hash
+        // map of growing vectors. The stable sort keeps each target's
+        // attack indices ascending — the same order the hash-map build
+        // produces after its final sort by target.
+        let mut keyed: Vec<u64> = attacks
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (u64::from(a.target_ip.value()) << 32) | i as u64)
+            .collect();
+        radix_sort_by_ip(&mut keyed);
+        let mut target_timelines: Vec<TargetTimeline> = Vec::new();
+        let mut run = 0;
+        while run < keyed.len() {
+            let target = (keyed[run] >> 32) as u32;
+            let mut end = run;
+            while end < keyed.len() && (keyed[end] >> 32) as u32 == target {
+                end += 1;
+            }
+            target_timelines.push(TargetTimeline {
+                target: IpAddr4(target),
+                attacks: keyed[run..end].iter().map(|&k| k as u32 as usize).collect(),
+            });
+            run = end;
+        }
+
+        let num_weeks = window.num_weeks();
+
+        // Per-family fan-out with chunked intra-family resolution: the
+        // big families split into enough chunks to keep every worker
+        // busy; a shared counter hands out chunks dynamically.
+        let pieces = if parallel { worker_count() } else { 1 };
+        let mut jobs: Vec<(usize, &[u32])> = Vec::new();
+        for (slot, family) in Family::ACTIVE.into_iter().enumerate() {
+            let indices = dataset.attack_indices_of(family);
+            for r in chunk_ranges(indices.len(), pieces) {
+                jobs.push((slot, &indices[r]));
+            }
+        }
+        // Each worker owns one reusable week-stamp buffer across all the
+        // chunks it drains ([`WeekStamp`] hands every chunk a fresh tag
+        // range, so no re-zeroing between chunks).
+        let run_job = |&(slot, indices): &(usize, &[u32]), stamp: &mut WeekStamp| {
+            (
+                slot,
+                resolve_family_chunk(dataset, &bot_table, &sources, indices, num_weeks, stamp),
+            )
+        };
+        let workers = worker_count().min(jobs.len());
+        let mut outs: Vec<(usize, usize, FamilyChunk)> = if parallel && workers > 1 {
+            let next = AtomicUsize::new(0);
+            let mut collected: Vec<(usize, usize, FamilyChunk)> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            scope.spawn(|_| {
+                                let mut local = Vec::new();
+                                let mut stamp = WeekStamp::default();
+                                loop {
+                                    let j = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(job) = jobs.get(j) else {
+                                        break;
+                                    };
+                                    let (slot, chunk) = run_job(job, &mut stamp);
+                                    local.push((j, slot, chunk));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("family resolution panicked"))
+                        .collect()
+                })
+                .expect("family resolution scope panicked");
+            collected.sort_unstable_by_key(|&(j, _, _)| j);
+            collected
+        } else {
+            let mut stamp = WeekStamp::default();
+            jobs.iter()
+                .enumerate()
+                .map(|(j, job)| {
+                    let (slot, chunk) = run_job(job, &mut stamp);
+                    (j, slot, chunk)
+                })
+                .collect()
+        };
+
+        // Deterministic merge: jobs are slot-major and sorted by job id,
+        // so each family's chunks concatenate in its trace order.
+        let mut families: Vec<FamilyContext> = Family::ACTIVE
+            .into_iter()
+            .map(|family| FamilyContext {
+                family,
+                starts: Vec::new(),
+                dispersion: FamilyDispersion {
+                    family,
+                    series: Vec::new(),
+                    active_days: 0,
+                },
+                weekly_bots: vec![IpMap::default(); num_weeks],
+            })
+            .collect();
+        let mut day_sets: Vec<HashSet<usize>> = vec![HashSet::new(); families.len()];
+        for (_, slot, chunk) in outs.drain(..) {
+            let fc = &mut families[slot];
+            fc.starts.extend(chunk.starts);
+            fc.dispersion.series.extend(chunk.series);
+            day_sets[slot].extend(chunk.days);
+            for (w, map) in chunk.weekly.into_iter().enumerate() {
+                if fc.weekly_bots[w].is_empty() {
+                    fc.weekly_bots[w] = map;
+                } else {
+                    fc.weekly_bots[w].extend(map);
+                }
+            }
+        }
+        for (fc, days) in families.iter_mut().zip(day_sets) {
+            fc.dispersion.active_days = days.len();
+        }
+
+        AnalysisContext {
+            dataset,
+            spec,
+            bot_table,
+            sources,
+            durations,
+            all_starts,
+            target_timelines,
+            families,
+        }
+    }
+
+    /// The pre-columnar build: per-lookup hash join through
+    /// [`BotIndex`], scalar trigonometry per attack-participation,
+    /// serial per-family loop. Kept as the reference the equivalence
+    /// suite holds the columnar build bit-equal to, and as the baseline
+    /// of `repro --ctx-bench`. (The columnar tables are still attached
+    /// so the context stays fully functional for every pass.)
+    pub fn build_reference(dataset: &'a Dataset, spec: ArimaSpec) -> AnalysisContext<'a> {
         let bots = BotIndex::build(dataset);
+        let bot_table = BotTable::build(dataset);
+        let sources = SourceTable::build(dataset, &bot_table, false);
         let window = dataset.window();
         let attacks = dataset.attacks();
 
@@ -152,7 +487,8 @@ impl<'a> AnalysisContext<'a> {
         AnalysisContext {
             dataset,
             spec,
-            bots,
+            bot_table,
+            sources,
             durations,
             all_starts,
             target_timelines,
@@ -166,13 +502,68 @@ impl<'a> AnalysisContext<'a> {
     }
 
     /// One active family's slot (`None` for inactive families).
+    ///
+    /// `Family::ACTIVE` is a prefix of `Family::ALL`, so an active
+    /// family's dense [`Family::index`] *is* its slot position; inactive
+    /// families index past the end of the slot vector.
     pub fn family(&self, family: Family) -> Option<&FamilyContext> {
-        self.families.iter().find(|fc| fc.family == family)
+        let fc = self.families.get(family.index())?;
+        debug_assert_eq!(fc.family, family);
+        Some(fc)
     }
 
     /// One active family's dispersion series.
     pub fn dispersion_of(&self, family: Family) -> Option<&FamilyDispersion> {
         self.family(family).map(|fc| &fc.dispersion)
+    }
+
+    /// Asserts that `self` and `other` carry the same analysis inputs,
+    /// with the dispersion series compared **bit-for-bit**. Used by the
+    /// equivalence suite and `repro --ctx-bench --smoke` to hold the
+    /// parallel and reference builds to the serial columnar build.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first divergence.
+    pub fn assert_same_analysis(&self, other: &AnalysisContext<'_>) {
+        assert_eq!(self.durations, other.durations, "durations diverged");
+        assert_eq!(self.all_starts, other.all_starts, "all_starts diverged");
+        assert_eq!(
+            self.target_timelines, other.target_timelines,
+            "target timelines diverged"
+        );
+        assert_eq!(self.families.len(), other.families.len());
+        for (a, b) in self.families.iter().zip(&other.families) {
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.starts, b.starts, "{:?}: starts diverged", a.family);
+            assert_eq!(
+                a.dispersion.active_days, b.dispersion.active_days,
+                "{:?}: active days diverged",
+                a.family
+            );
+            assert_eq!(
+                a.dispersion.series.len(),
+                b.dispersion.series.len(),
+                "{:?}: series length diverged",
+                a.family
+            );
+            for (x, y) in a.dispersion.series.iter().zip(&b.dispersion.series) {
+                assert_eq!(x.0, y.0, "{:?}: series timestamps diverged", a.family);
+                assert_eq!(
+                    x.1.to_bits(),
+                    y.1.to_bits(),
+                    "{:?}: dispersion bits diverged ({} vs {})",
+                    a.family,
+                    x.1,
+                    y.1
+                );
+            }
+            assert_eq!(
+                a.weekly_bots, b.weekly_bots,
+                "{:?}: weekly bot maps diverged",
+                a.family
+            );
+        }
     }
 }
 
@@ -201,6 +592,11 @@ mod tests {
         assert!(ctx.target_timelines[0].target < ctx.target_timelines[1].target);
         assert_eq!(ctx.target_timelines[0].attacks, vec![0, 1]);
         assert_eq!(ctx.target_timelines[1].attacks, vec![2]);
+        // The CSR join covers every participation.
+        assert_eq!(
+            ctx.sources.participations(),
+            ds.attacks().iter().map(|a| a.sources.len()).sum::<usize>()
+        );
     }
 
     #[test]
@@ -211,6 +607,14 @@ mod tests {
         let fc = ctx.family(Family::Pandora).unwrap();
         assert_eq!(fc.starts, vec![Timestamp(100)]);
         assert!(ctx.dispersion_of(Family::Pandora).is_some());
+        // The slot lookup is a direct index: every active family's slot
+        // holds that family, inactive families have none.
+        for family in Family::ACTIVE {
+            assert_eq!(ctx.family(family).unwrap().family, family);
+        }
+        for family in &Family::ALL[Family::ACTIVE.len()..] {
+            assert!(ctx.family(*family).is_none());
+        }
     }
 
     #[test]
@@ -220,19 +624,36 @@ mod tests {
             attack(Family::Pandora, 2, 120, 700, 1),
         ]);
         let ctx = AnalysisContext::new(&ds);
+        let bots = BotIndex::build(&ds);
         for family in Family::ACTIVE {
-            let standalone = FamilyDispersion::compute(&ds, &ctx.bots, family);
+            let standalone = FamilyDispersion::compute(&ds, &bots, family);
             assert_eq!(ctx.dispersion_of(family), Some(&standalone));
         }
         // And the shared join agrees with the standalone shift analysis.
         assert_eq!(
             ShiftAnalysis::compute_ctx(&ctx),
-            ShiftAnalysis::compute(&ds, &ctx.bots)
+            ShiftAnalysis::compute(&ds, &bots)
         );
         assert_eq!(
             crate::source::dispersion::qualifying_families_ctx(&ctx),
-            qualifying_families(&ds, &ctx.bots)
+            qualifying_families(&ds, &bots)
         );
+    }
+
+    #[test]
+    fn parallel_serial_and_reference_builds_agree() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Dirtjumper, 2, 150, 600, 1),
+            attack(Family::Pandora, 3, 120, 700, 1),
+            attack(Family::Pandora, 4, 900, 700, 2),
+            attack(Family::Optima, 5, 1_500, 300, 2),
+        ]);
+        let serial = AnalysisContext::build_opts(&ds, ArimaSpec::DEFAULT, false);
+        let parallel = AnalysisContext::build_opts(&ds, ArimaSpec::DEFAULT, true);
+        let reference = AnalysisContext::build_reference(&ds, ArimaSpec::DEFAULT);
+        serial.assert_same_analysis(&parallel);
+        serial.assert_same_analysis(&reference);
     }
 
     #[test]
@@ -242,5 +663,7 @@ mod tests {
         assert!(ctx.durations.is_empty());
         assert!(ctx.target_timelines.is_empty());
         assert_eq!(ctx.families().len(), Family::ACTIVE.len());
+        assert!(ctx.bot_table.is_empty());
+        assert_eq!(ctx.sources.participations(), 0);
     }
 }

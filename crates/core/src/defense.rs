@@ -24,7 +24,7 @@ use ddos_schema::{CountryCode, Dataset, Family, IpAddr4};
 use ddos_stats::descriptive;
 use serde::{Deserialize, Serialize};
 
-use crate::util::{BotIndex, IpSet};
+use crate::util::BotIndex;
 
 /// Coverage of one repeat attack by the victim's source blacklist.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,26 +77,41 @@ impl BlacklistSim {
     /// target's timeline independently (the blacklist state of one
     /// target never influences another), then restores trace order by
     /// sorting on the attack index.
+    ///
+    /// Runs entirely on the context's [`SourceTable`] dictionary ids: a
+    /// per-id generation stamp (the timeline index that last
+    /// blacklisted the id) replaces the per-target hash set, so the
+    /// replay does no hashing and no per-target allocation. Coverage is
+    /// identical to the IP-based replay because each attack's id slice
+    /// mirrors its source list one-to-one, duplicates included.
+    ///
+    /// [`SourceTable`]: crate::columnar::SourceTable
     pub fn run_ctx(ctx: &crate::context::AnalysisContext) -> BlacklistSim {
         let attacks = ctx.dataset.attacks();
+        let sources = &ctx.sources;
+        const NEVER: u32 = u32::MAX;
+        debug_assert!((ctx.target_timelines.len() as u64) < u64::from(NEVER));
+        let mut stamp: Vec<u32> = vec![NEVER; sources.dict_len()];
         let mut indexed: Vec<(usize, BlacklistHit)> = Vec::new();
-        for tl in &ctx.target_timelines {
-            let mut list = IpSet::default();
+        for (t, tl) in ctx.target_timelines.iter().enumerate() {
+            let t = t as u32;
             for (round, &i) in tl.attacks.iter().enumerate() {
-                let a = &attacks[i];
-                if round > 0 && !a.sources.is_empty() {
-                    let known = a.sources.iter().filter(|ip| list.contains(ip)).count();
+                let ids = sources.ids_of(i);
+                if round > 0 && !ids.is_empty() {
+                    let known = ids.iter().filter(|&&id| stamp[id as usize] == t).count();
                     indexed.push((
                         i,
                         BlacklistHit {
                             target: tl.target,
                             round,
-                            coverage: known as f64 / a.sources.len() as f64,
-                            family: a.family,
+                            coverage: known as f64 / ids.len() as f64,
+                            family: attacks[i].family,
                         },
                     ));
                 }
-                list.extend(a.sources.iter().copied());
+                for &id in ids {
+                    stamp[id as usize] = t;
+                }
             }
         }
         indexed.sort_unstable_by_key(|&(i, _)| i);
@@ -276,6 +291,23 @@ mod tests {
         let by_round = sim.coverage_by_round(3);
         assert_eq!(by_round.len(), 2);
         assert_eq!(by_round[0], (1, 0.5, 1));
+    }
+
+    #[test]
+    fn ctx_replay_matches_ip_replay() {
+        // Interleaved targets with shared and unseen sources: the
+        // id-stamp replay must score exactly like the hash-set replay.
+        let mut a1 = attack(Family::Dirtjumper, 1, 100, 10, 1);
+        a1.sources = vec![ip(1), ip(2), ip(2)];
+        let mut a2 = attack(Family::Pandora, 2, 200, 10, 2);
+        a2.sources = vec![ip(2), ip(3)];
+        let mut a3 = attack(Family::Dirtjumper, 3, 300, 10, 1);
+        a3.sources = vec![ip(2), ip(4)];
+        let mut a4 = attack(Family::Pandora, 4, 400, 10, 2);
+        a4.sources = vec![ip(2), ip(3), ip(5)];
+        let ds = dataset(vec![a1, a2, a3, a4]);
+        let ctx = crate::context::AnalysisContext::new(&ds);
+        assert_eq!(BlacklistSim::run(&ds), BlacklistSim::run_ctx(&ctx));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod collab;
+pub mod columnar;
 pub mod context;
 pub mod defense;
 pub mod overview;
@@ -42,5 +43,6 @@ pub mod summary;
 pub mod target;
 pub mod util;
 
+pub use columnar::{BotTable, SourceTable, NO_BOT};
 pub use context::AnalysisContext;
 pub use pipeline::{AnalysisReport, PipelineOptions};

@@ -38,8 +38,9 @@ use crate::util::BotIndex;
 pub struct PipelineOptions {
     /// ARIMA order for the prediction pass.
     pub spec: ArimaSpec,
-    /// Run independent passes on scoped threads. The serialized report
-    /// is byte-identical either way; only wall-clock differs.
+    /// Run the context build and independent passes on scoped threads.
+    /// The serialized report is byte-identical either way; only
+    /// wall-clock differs.
     pub parallel: bool,
 }
 
@@ -120,10 +121,13 @@ impl AnalysisReport {
         )
     }
 
-    /// Runs the pass-based pipeline with explicit options.
+    /// Runs the pass-based pipeline with explicit options. The
+    /// `parallel` flag governs both the context build (chunked
+    /// per-family fan-out over the columnar substrate) and the pass
+    /// scheduler; the serialized report is identical either way.
     pub fn run_opts(ds: &Dataset, opts: PipelineOptions) -> AnalysisReport {
         let t0 = Instant::now();
-        let ctx = AnalysisContext::build(ds, opts.spec);
+        let ctx = AnalysisContext::build_opts(ds, opts.spec, opts.parallel);
         let context_micros = t0.elapsed().as_micros();
         let (partial, pass_timings) = passes::execute(&ctx, opts.parallel);
         let mut report = assemble(partial);

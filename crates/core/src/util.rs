@@ -50,16 +50,19 @@ pub type IpSet = HashSet<IpAddr4, BuildHasherDefault<IpHasher>>;
 ///
 /// Built once and shared; the source analyses resolve every attack's
 /// participants through it (the paper's feed geolocates at collection
-/// time, so the mapping is stable — §II-D).
+/// time, so the mapping is stable — §II-D). Keyed through [`IpMap`] —
+/// this is exactly the hot map [`IpHasher`] was built for; lookups are
+/// membership-style and never iterate, so the hasher's different
+/// iteration order is unobservable.
 #[derive(Debug, Clone, Default)]
 pub struct BotIndex {
-    map: HashMap<IpAddr4, (CountryCode, LatLon)>,
+    map: IpMap<(CountryCode, LatLon)>,
 }
 
 impl BotIndex {
     /// Builds the index from a dataset's bot records.
     pub fn build(ds: &Dataset) -> BotIndex {
-        let mut map = HashMap::with_capacity(ds.bots().len());
+        let mut map = IpMap::with_capacity_and_hasher(ds.bots().len(), Default::default());
         for bot in ds.bots() {
             map.insert(bot.ip, (bot.location.country, bot.location.coords));
         }

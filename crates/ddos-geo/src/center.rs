@@ -19,7 +19,8 @@
 use ddos_schema::LatLon;
 use serde::{Deserialize, Serialize};
 
-use crate::haversine::distance_km;
+use crate::haversine::{distance_km, distance_km_precomp};
+use crate::trig::{CenterTrig, PointTrig};
 
 /// Geographic center (spherical centroid) of a set of points.
 ///
@@ -49,6 +50,34 @@ pub fn geographic_center(points: &[LatLon]) -> Option<LatLon> {
     Some(LatLon::new_unchecked(lat.clamp(-90.0, 90.0), lon))
 }
 
+/// [`geographic_center`] over a precomputed trig batch.
+///
+/// The accumulation evaluates exactly the scalar kernel's expressions
+/// (`cos(lat)·cos(lon)`, `cos(lat)·sin(lon)`, `sin(lat)`, summed in
+/// slice order), so the result is bit-identical. The loop body is pure
+/// multiply-add over contiguous columns, so LLVM can unroll and
+/// vectorize the three accumulations.
+pub fn geographic_center_precomp(points: &[PointTrig]) -> Option<LatLon> {
+    if points.is_empty() {
+        return None;
+    }
+    let (mut x, mut y, mut z) = (0.0f64, 0.0f64, 0.0f64);
+    for p in points {
+        x += p.cos_lat * p.cos_lon;
+        y += p.cos_lat * p.sin_lon;
+        z += p.sin_lat;
+    }
+    let n = points.len() as f64;
+    let (x, y, z) = (x / n, y / n, z / n);
+    let norm = (x * x + y * y + z * z).sqrt();
+    if norm < 1e-12 {
+        return None;
+    }
+    let lat = (z / norm).clamp(-1.0, 1.0).asin().to_degrees();
+    let lon = y.atan2(x).to_degrees();
+    Some(LatLon::new_unchecked(lat.clamp(-90.0, 90.0), lon))
+}
+
 /// Signed haversine distance from `center` to `point`, in kilometers.
 ///
 /// The magnitude is the great-circle distance; the sign follows the
@@ -57,6 +86,33 @@ pub fn geographic_center(points: &[LatLon]) -> Option<LatLon> {
 /// coincident points yield `+0.0`.
 pub fn signed_distance_km(center: LatLon, point: LatLon) -> f64 {
     let d = distance_km(center, point);
+    // Longitude offset normalized to (-180, 180].
+    let mut dlon = point.lon - center.lon;
+    if dlon > 180.0 {
+        dlon -= 360.0;
+    } else if dlon <= -180.0 {
+        dlon += 360.0;
+    }
+    let sign = if dlon.abs() > 1e-9 {
+        dlon.signum()
+    } else {
+        let dlat = point.lat - center.lat;
+        if dlat.abs() > 1e-9 {
+            dlat.signum()
+        } else {
+            1.0
+        }
+    };
+    sign * d
+}
+
+/// [`signed_distance_km`] over precomputed trigonometry.
+///
+/// Magnitude from [`distance_km_precomp`]; the sign rule reads the
+/// cached degree fields, evaluating exactly the scalar expressions.
+#[inline]
+pub fn signed_distance_km_precomp(center: &CenterTrig, point: &PointTrig) -> f64 {
+    let d = distance_km_precomp(center, point);
     // Longitude offset normalized to (-180, 180].
     let mut dlon = point.lon - center.lon;
     if dlon > 180.0 {
@@ -125,6 +181,74 @@ pub fn dispersion(points: &[LatLon]) -> Option<Dispersion> {
         center,
         signed_sum_km,
         count: points.len(),
+    })
+}
+
+/// [`dispersion`] over a precomputed trig batch — the hot kernel of the
+/// analysis context build. One snapshot costs one center pass plus one
+/// signed-distance pass over the slice; all per-point trigonometry
+/// comes from the cache.
+///
+/// Bit-identical to `dispersion(&points.map(PointTrig::point))`: the
+/// center accumulation, the per-point distances, and the signed sum all
+/// evaluate the scalar kernels' exact expressions in the same order
+/// (the property tests below assert this on arbitrary point sets).
+pub fn dispersion_precomp(points: &[PointTrig]) -> Option<Dispersion> {
+    let center = geographic_center_precomp(points)?;
+    let ct = CenterTrig::new(center);
+    let mut signed_sum_km = 0.0f64;
+    for p in points {
+        signed_sum_km += signed_distance_km_precomp(&ct, p);
+    }
+    Some(Dispersion {
+        center,
+        signed_sum_km,
+        count: points.len(),
+    })
+}
+
+/// [`dispersion_precomp`] over *rows of a shared trig column* instead
+/// of a gathered slice: `rows[i]` indexes `col`, and the computation
+/// visits rows in list order.
+///
+/// This lets a caller that already holds point ids skip materializing
+/// a `PointTrig` buffer per snapshot — the center pass pulls each row
+/// into cache and the distance pass re-reads it hot. Bit-identical to
+/// `dispersion_precomp(&rows.map(|r| col[r]).collect())`: identical
+/// expressions evaluated in identical order, only the load addresses
+/// differ (the property test below asserts this).
+///
+/// # Panics
+/// If any row index is out of bounds for `col`.
+pub fn dispersion_precomp_indexed(col: &[PointTrig], rows: &[u32]) -> Option<Dispersion> {
+    if rows.is_empty() {
+        return None;
+    }
+    let (mut x, mut y, mut z) = (0.0f64, 0.0f64, 0.0f64);
+    for &r in rows {
+        let p = &col[r as usize];
+        x += p.cos_lat * p.cos_lon;
+        y += p.cos_lat * p.sin_lon;
+        z += p.sin_lat;
+    }
+    let n = rows.len() as f64;
+    let (x, y, z) = (x / n, y / n, z / n);
+    let norm = (x * x + y * y + z * z).sqrt();
+    if norm < 1e-12 {
+        return None;
+    }
+    let lat = (z / norm).clamp(-1.0, 1.0).asin().to_degrees();
+    let lon = y.atan2(x).to_degrees();
+    let center = LatLon::new_unchecked(lat.clamp(-90.0, 90.0), lon);
+    let ct = CenterTrig::new(center);
+    let mut signed_sum_km = 0.0f64;
+    for &r in rows {
+        signed_sum_km += signed_distance_km_precomp(&ct, &col[r as usize]);
+    }
+    Some(Dispersion {
+        center,
+        signed_sum_km,
+        count: rows.len(),
     })
 }
 
@@ -229,6 +353,69 @@ mod tests {
             for q in &pts {
                 prop_assert!(distance_km(c, *q) <= max_pair + 1e-6);
             }
+        }
+
+        #[test]
+        fn precomp_dispersion_is_bit_identical(
+            lats in proptest::collection::vec(-90.0f64..=90.0, 0..40),
+            lons in proptest::collection::vec(-180.0f64..=180.0, 0..40),
+        ) {
+            let n = lats.len().min(lons.len());
+            let pts: Vec<LatLon> = (0..n).map(|i| p(lats[i], lons[i])).collect();
+            let trig: Vec<PointTrig> = pts.iter().map(|&q| PointTrig::new(q)).collect();
+            let scalar_center = geographic_center(&pts);
+            let cached_center = geographic_center_precomp(&trig);
+            prop_assert_eq!(
+                scalar_center.map(|c| (c.lat.to_bits(), c.lon.to_bits())),
+                cached_center.map(|c| (c.lat.to_bits(), c.lon.to_bits()))
+            );
+            let scalar = dispersion(&pts);
+            let cached = dispersion_precomp(&trig);
+            prop_assert_eq!(scalar.is_some(), cached.is_some());
+            if let (Some(s), Some(c)) = (scalar, cached) {
+                prop_assert_eq!(s.signed_sum_km.to_bits(), c.signed_sum_km.to_bits());
+                prop_assert_eq!(s.center.lat.to_bits(), c.center.lat.to_bits());
+                prop_assert_eq!(s.center.lon.to_bits(), c.center.lon.to_bits());
+                prop_assert_eq!(s.count, c.count);
+            }
+        }
+
+        #[test]
+        fn indexed_dispersion_is_bit_identical(
+            lats in proptest::collection::vec(-90.0f64..=90.0, 1..24),
+            lons in proptest::collection::vec(-180.0f64..=180.0, 1..24),
+            picks in proptest::collection::vec(0usize..1024, 0..64),
+        ) {
+            // A column of distinct points and an arbitrary row list
+            // (duplicates and any order allowed).
+            let n = lats.len().min(lons.len());
+            let col: Vec<PointTrig> =
+                (0..n).map(|i| PointTrig::new(p(lats[i], lons[i]))).collect();
+            let rows: Vec<u32> = picks.iter().map(|&k| (k % n) as u32).collect();
+            let gathered: Vec<PointTrig> =
+                rows.iter().map(|&r| col[r as usize]).collect();
+            let a = dispersion_precomp(&gathered);
+            let b = dispersion_precomp_indexed(&col, &rows);
+            prop_assert_eq!(a.is_some(), b.is_some());
+            if let (Some(a), Some(b)) = (a, b) {
+                prop_assert_eq!(a.signed_sum_km.to_bits(), b.signed_sum_km.to_bits());
+                prop_assert_eq!(a.center.lat.to_bits(), b.center.lat.to_bits());
+                prop_assert_eq!(a.center.lon.to_bits(), b.center.lon.to_bits());
+                prop_assert_eq!(a.count, b.count);
+            }
+        }
+
+        #[test]
+        fn precomp_signed_distance_is_bit_identical(
+            lat1 in -90.0f64..=90.0, lon1 in -180.0f64..=180.0,
+            lat2 in -90.0f64..=90.0, lon2 in -180.0f64..=180.0,
+        ) {
+            let center = p(lat1, lon1);
+            let point = p(lat2, lon2);
+            let scalar = signed_distance_km(center, point);
+            let cached =
+                signed_distance_km_precomp(&CenterTrig::new(center), &PointTrig::new(point));
+            prop_assert_eq!(scalar.to_bits(), cached.to_bits());
         }
 
         #[test]

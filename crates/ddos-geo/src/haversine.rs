@@ -6,6 +6,8 @@
 
 use ddos_schema::LatLon;
 
+use crate::trig::{CenterTrig, PointTrig};
+
 /// Mean Earth radius in kilometers (IUGG mean radius R₁).
 pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
@@ -19,6 +21,23 @@ pub fn distance_km(a: LatLon, b: LatLon) -> f64 {
     let dlat = lat2 - lat1;
     let dlon = lon2 - lon1;
     let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    let h = h.clamp(0.0, 1.0);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// [`distance_km`] over precomputed trigonometry: the center side comes
+/// from a [`CenterTrig`] (hoisted out of the caller's batch loop), the
+/// point side from a cached [`PointTrig`].
+///
+/// Evaluates the exact expression of [`distance_km`]`(center, point)` —
+/// same operations, same association — so the result is bit-identical;
+/// only the `sin`/`cos`/`to_radians` calls are replaced by cached loads.
+#[inline]
+pub fn distance_km_precomp(center: &CenterTrig, point: &PointTrig) -> f64 {
+    let dlat = point.lat_rad() - center.lat_rad;
+    let dlon = point.lon_rad() - center.lon_rad;
+    let h =
+        (dlat / 2.0).sin().powi(2) + center.cos_lat * point.cos_lat * (dlon / 2.0).sin().powi(2);
     let h = h.clamp(0.0, 1.0);
     2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
 }
@@ -117,6 +136,18 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn precomp_distance_is_bit_identical(
+            lat1 in -90.0f64..=90.0, lon1 in -180.0f64..=180.0,
+            lat2 in -90.0f64..=90.0, lon2 in -180.0f64..=180.0,
+        ) {
+            let center = p(lat1, lon1);
+            let point = p(lat2, lon2);
+            let scalar = distance_km(center, point);
+            let cached = distance_km_precomp(&CenterTrig::new(center), &PointTrig::new(point));
+            prop_assert_eq!(scalar.to_bits(), cached.to_bits());
+        }
+
         #[test]
         fn symmetry(lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
                     lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0) {

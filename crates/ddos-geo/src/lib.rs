@@ -33,9 +33,15 @@ pub mod geodb;
 pub mod haversine;
 pub mod reserved;
 mod rng;
+pub mod trig;
 
-pub use center::{dispersion, geographic_center, mean_distance_km, signed_distance_km, Dispersion};
+pub use center::{
+    dispersion, dispersion_precomp, dispersion_precomp_indexed, geographic_center,
+    geographic_center_precomp, mean_distance_km, signed_distance_km, signed_distance_km_precomp,
+    Dispersion,
+};
 pub use country::{CountryInfo, COUNTRIES};
 pub use geodb::{CityInfo, GeoConfig, GeoDb, OrgInfo, OrgKind};
-pub use haversine::{distance_km, EARTH_RADIUS_KM};
+pub use haversine::{distance_km, distance_km_precomp, EARTH_RADIUS_KM};
 pub use reserved::is_reserved;
+pub use trig::{CenterTrig, PointTrig};

@@ -1,0 +1,146 @@
+//! Precomputed trigonometry for the dispersion kernels.
+//!
+//! The dispersion metric (§IV-A) evaluates `sin`/`cos` of every
+//! participating bot's coordinates twice per snapshot — once for the
+//! geographic center, once inside the haversine — and the same bot
+//! participates in hundreds of attacks across a trace. [`PointTrig`]
+//! caches every per-point trigonometric quantity those kernels read, so
+//! each bot's trigonometry is computed once per *trace* instead of once
+//! per attack-participation. [`CenterTrig`] does the same for the
+//! center side of a distance batch, which is constant across one
+//! snapshot's inner loop.
+//!
+//! # Bit-exactness
+//!
+//! Every cached field is produced by exactly the expression the scalar
+//! kernels in [`crate::center`] and [`crate::haversine`] evaluate
+//! inline (`lat.to_radians().cos()` and so on). IEEE-754 operations are
+//! deterministic, so the `*_precomp` kernels consuming these caches are
+//! **bit-identical** to their scalar counterparts — the pipeline
+//! equivalence suite and the property tests in `center` rely on this.
+
+use ddos_schema::LatLon;
+
+/// Per-point precomputed trigonometry: everything the center and
+/// signed-distance kernels need about one coordinate.
+///
+/// Six fields (48 bytes), not eight: the radian values are a single
+/// exact multiply (`to_radians`) away from the degree fields, so
+/// caching them would only fatten the column the hot gather loop reads
+/// — consumers recompute them inline, bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointTrig {
+    /// Latitude in degrees (sign rule and `to_radians` input).
+    pub lat: f64,
+    /// Longitude in degrees (sign rule and `to_radians` input).
+    pub lon: f64,
+    /// `sin(lat_rad)` — the center kernel's z component.
+    pub sin_lat: f64,
+    /// `cos(lat_rad)` — shared by the center and haversine kernels.
+    pub cos_lat: f64,
+    /// `sin(lon_rad)` — the center kernel's y factor.
+    pub sin_lon: f64,
+    /// `cos(lon_rad)` — the center kernel's x factor.
+    pub cos_lon: f64,
+}
+
+impl PointTrig {
+    /// Precomputes the trigonometry of one point.
+    ///
+    /// Uses the fused `sin_cos` — glibc computes both from the same
+    /// argument reduction, bit-identical to separate `sin`/`cos` calls
+    /// (the unit test and the `center` property tests assert this).
+    pub fn new(p: LatLon) -> PointTrig {
+        let (sin_lat, cos_lat) = p.lat_rad().sin_cos();
+        let (sin_lon, cos_lon) = p.lon_rad().sin_cos();
+        PointTrig {
+            lat: p.lat,
+            lon: p.lon,
+            sin_lat,
+            cos_lat,
+            sin_lon,
+            cos_lon,
+        }
+    }
+
+    /// Latitude in radians — the exact expression [`LatLon::lat_rad`]
+    /// evaluates, recomputed instead of cached.
+    #[inline]
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians — the exact expression [`LatLon::lon_rad`]
+    /// evaluates, recomputed instead of cached.
+    #[inline]
+    pub fn lon_rad(&self) -> f64 {
+        self.lon.to_radians()
+    }
+
+    /// The original coordinate pair.
+    #[inline]
+    pub fn point(&self) -> LatLon {
+        LatLon::new_unchecked(self.lat, self.lon)
+    }
+}
+
+impl From<LatLon> for PointTrig {
+    fn from(p: LatLon) -> PointTrig {
+        PointTrig::new(p)
+    }
+}
+
+/// Center-side precomputation for a batch of distances from one center:
+/// the center's radians and `cos(lat)` are hoisted out of the per-point
+/// loop (the scalar path recomputes them for every point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CenterTrig {
+    /// Center latitude in degrees (sign rule input).
+    pub lat: f64,
+    /// Center longitude in degrees (sign rule input).
+    pub lon: f64,
+    /// Center latitude in radians.
+    pub lat_rad: f64,
+    /// Center longitude in radians.
+    pub lon_rad: f64,
+    /// `cos(lat_rad)` of the center.
+    pub cos_lat: f64,
+}
+
+impl CenterTrig {
+    /// Precomputes the center-side trigonometry.
+    pub fn new(c: LatLon) -> CenterTrig {
+        let lat_rad = c.lat_rad();
+        CenterTrig {
+            lat: c.lat,
+            lon: c.lon,
+            lat_rad,
+            lon_rad: c.lon_rad(),
+            cos_lat: lat_rad.cos(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_fields_match_inline_expressions() {
+        let p = LatLon::new(55.7558, 37.6173).unwrap();
+        let t = PointTrig::new(p);
+        assert_eq!(t.lat_rad().to_bits(), p.lat_rad().to_bits());
+        assert_eq!(t.lon_rad().to_bits(), p.lon_rad().to_bits());
+        assert_eq!(t.sin_lat.to_bits(), p.lat_rad().sin().to_bits());
+        assert_eq!(t.cos_lat.to_bits(), p.lat_rad().cos().to_bits());
+        assert_eq!(t.sin_lon.to_bits(), p.lon_rad().sin().to_bits());
+        assert_eq!(t.cos_lon.to_bits(), p.lon_rad().cos().to_bits());
+        assert_eq!(t.point(), p);
+        assert_eq!(PointTrig::from(p), t);
+
+        let c = CenterTrig::new(p);
+        assert_eq!(c.cos_lat.to_bits(), p.lat_rad().cos().to_bits());
+        assert_eq!(c.lat, p.lat);
+        assert_eq!(c.lon, p.lon);
+    }
+}

@@ -165,6 +165,13 @@ impl Dataset {
             .map(move |&i| &self.attacks[i as usize])
     }
 
+    /// Indices into [`Dataset::attacks`] of one family's attacks,
+    /// ascending (the index slice behind [`Dataset::attacks_of`]). Lets
+    /// batch consumers join an attack against other per-index columns.
+    pub fn attack_indices_of(&self, family: Family) -> &[u32] {
+        self.by_family.get(&family).map_or(&[], Vec::as_slice)
+    }
+
     /// Attacks against one target IP, in start order.
     pub fn attacks_on(&self, target: IpAddr4) -> impl Iterator<Item = &AttackRecord> {
         self.by_target

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-01d42e1b48ef4a96.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-01d42e1b48ef4a96: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

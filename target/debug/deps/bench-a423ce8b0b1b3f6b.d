@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-a423ce8b0b1b3f6b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a423ce8b0b1b3f6b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a423ce8b0b1b3f6b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

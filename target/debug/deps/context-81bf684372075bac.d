@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context-81bf684372075bac.d: crates/bench/benches/context.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext-81bf684372075bac.rmeta: crates/bench/benches/context.rs Cargo.toml
+
+crates/bench/benches/context.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

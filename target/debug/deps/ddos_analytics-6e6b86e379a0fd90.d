@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/ddos_analytics-6e6b86e379a0fd90.d: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
+/root/repo/target/debug/deps/ddos_analytics-6e6b86e379a0fd90.d: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/columnar.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
 
-/root/repo/target/debug/deps/ddos_analytics-6e6b86e379a0fd90: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
+/root/repo/target/debug/deps/ddos_analytics-6e6b86e379a0fd90: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/columnar.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
 
 crates/core/src/lib.rs:
 crates/core/src/collab/mod.rs:
 crates/core/src/collab/concurrent.rs:
 crates/core/src/collab/multistage.rs:
+crates/core/src/columnar.rs:
 crates/core/src/context.rs:
 crates/core/src/defense.rs:
 crates/core/src/overview/mod.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/ddos_analytics-7b1ce90264b44969.d: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs Cargo.toml
+/root/repo/target/debug/deps/ddos_analytics-7b1ce90264b44969.d: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/columnar.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs Cargo.toml
 
-/root/repo/target/debug/deps/libddos_analytics-7b1ce90264b44969.rmeta: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs Cargo.toml
+/root/repo/target/debug/deps/libddos_analytics-7b1ce90264b44969.rmeta: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/columnar.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/collab/mod.rs:
 crates/core/src/collab/concurrent.rs:
 crates/core/src/collab/multistage.rs:
+crates/core/src/columnar.rs:
 crates/core/src/context.rs:
 crates/core/src/defense.rs:
 crates/core/src/overview/mod.rs:
@@ -30,5 +31,5 @@ crates/core/src/target/recurrence.rs:
 crates/core/src/util.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/ddos_geo-1878b5269c949783.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+/root/repo/target/debug/deps/ddos_geo-1878b5269c949783.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
 
-/root/repo/target/debug/deps/ddos_geo-1878b5269c949783: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+/root/repo/target/debug/deps/ddos_geo-1878b5269c949783: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
 
 crates/ddos-geo/src/lib.rs:
 crates/ddos-geo/src/center.rs:
@@ -9,3 +9,4 @@ crates/ddos-geo/src/geodb.rs:
 crates/ddos-geo/src/haversine.rs:
 crates/ddos-geo/src/reserved.rs:
 crates/ddos-geo/src/rng.rs:
+crates/ddos-geo/src/trig.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/ddos_geo-39db54f57c1c0003.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+/root/repo/target/debug/deps/ddos_geo-39db54f57c1c0003.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
 
-/root/repo/target/debug/deps/libddos_geo-39db54f57c1c0003.rlib: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+/root/repo/target/debug/deps/libddos_geo-39db54f57c1c0003.rlib: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
 
-/root/repo/target/debug/deps/libddos_geo-39db54f57c1c0003.rmeta: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+/root/repo/target/debug/deps/libddos_geo-39db54f57c1c0003.rmeta: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
 
 crates/ddos-geo/src/lib.rs:
 crates/ddos-geo/src/center.rs:
@@ -11,3 +11,4 @@ crates/ddos-geo/src/geodb.rs:
 crates/ddos-geo/src/haversine.rs:
 crates/ddos-geo/src/reserved.rs:
 crates/ddos-geo/src/rng.rs:
+crates/ddos-geo/src/trig.rs:

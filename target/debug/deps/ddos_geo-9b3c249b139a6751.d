@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/ddos_geo-9b3c249b139a6751.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/ddos_geo-9b3c249b139a6751.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs Cargo.toml
 
-/root/repo/target/debug/deps/libddos_geo-9b3c249b139a6751.rmeta: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/libddos_geo-9b3c249b139a6751.rmeta: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs Cargo.toml
 
 crates/ddos-geo/src/lib.rs:
 crates/ddos-geo/src/center.rs:
@@ -9,7 +9,8 @@ crates/ddos-geo/src/geodb.rs:
 crates/ddos-geo/src/haversine.rs:
 crates/ddos-geo/src/reserved.rs:
 crates/ddos-geo/src/rng.rs:
+crates/ddos-geo/src/trig.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

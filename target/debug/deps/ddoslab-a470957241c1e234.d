@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddoslab-a470957241c1e234.d: crates/ddos-report/src/bin/ddoslab.rs
+
+/root/repo/target/debug/deps/ddoslab-a470957241c1e234: crates/ddos-report/src/bin/ddoslab.rs
+
+crates/ddos-report/src/bin/ddoslab.rs:

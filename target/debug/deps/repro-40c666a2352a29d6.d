@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-40c666a2352a29d6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-40c666a2352a29d6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

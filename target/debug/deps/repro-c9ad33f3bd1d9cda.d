@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c9ad33f3bd1d9cda.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c9ad33f3bd1d9cda: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ctx_profile-f0c44282a54b1a33.d: crates/bench/examples/ctx_profile.rs
+
+/root/repo/target/debug/examples/ctx_profile-f0c44282a54b1a33: crates/bench/examples/ctx_profile.rs
+
+crates/bench/examples/ctx_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-8106fac674de2a08.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-8106fac674de2a08: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-36326e87fdc8f8d0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-36326e87fdc8f8d0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

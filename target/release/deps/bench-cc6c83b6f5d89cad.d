@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-cc6c83b6f5d89cad.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-cc6c83b6f5d89cad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-cc6c83b6f5d89cad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

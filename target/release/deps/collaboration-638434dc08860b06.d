@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collaboration-638434dc08860b06.d: crates/bench/benches/collaboration.rs
+
+/root/repo/target/release/deps/collaboration-638434dc08860b06: crates/bench/benches/collaboration.rs
+
+crates/bench/benches/collaboration.rs:

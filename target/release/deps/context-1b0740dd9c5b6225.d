@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/context-1b0740dd9c5b6225.d: crates/bench/benches/context.rs
+
+/root/repo/target/release/deps/context-1b0740dd9c5b6225: crates/bench/benches/context.rs
+
+crates/bench/benches/context.rs:

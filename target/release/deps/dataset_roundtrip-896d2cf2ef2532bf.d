@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dataset_roundtrip-896d2cf2ef2532bf.d: crates/core/../../tests/dataset_roundtrip.rs
+
+/root/repo/target/release/deps/dataset_roundtrip-896d2cf2ef2532bf: crates/core/../../tests/dataset_roundtrip.rs
+
+crates/core/../../tests/dataset_roundtrip.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/ddos_analytics-58132d236488a0dd.d: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
+/root/repo/target/release/deps/ddos_analytics-58132d236488a0dd.d: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/columnar.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
 
-/root/repo/target/release/deps/libddos_analytics-58132d236488a0dd.rlib: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
+/root/repo/target/release/deps/libddos_analytics-58132d236488a0dd.rlib: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/columnar.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
 
-/root/repo/target/release/deps/libddos_analytics-58132d236488a0dd.rmeta: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
+/root/repo/target/release/deps/libddos_analytics-58132d236488a0dd.rmeta: crates/core/src/lib.rs crates/core/src/collab/mod.rs crates/core/src/collab/concurrent.rs crates/core/src/collab/multistage.rs crates/core/src/columnar.rs crates/core/src/context.rs crates/core/src/defense.rs crates/core/src/overview/mod.rs crates/core/src/overview/activity.rs crates/core/src/overview/daily.rs crates/core/src/overview/duration.rs crates/core/src/overview/intervals.rs crates/core/src/overview/protocols.rs crates/core/src/passes.rs crates/core/src/pipeline.rs crates/core/src/preprocess.rs crates/core/src/source/mod.rs crates/core/src/source/dispersion.rs crates/core/src/source/prediction.rs crates/core/src/source/shift.rs crates/core/src/summary.rs crates/core/src/target/mod.rs crates/core/src/target/asn.rs crates/core/src/target/country.rs crates/core/src/target/organization.rs crates/core/src/target/recurrence.rs crates/core/src/util.rs
 
 crates/core/src/lib.rs:
 crates/core/src/collab/mod.rs:
 crates/core/src/collab/concurrent.rs:
 crates/core/src/collab/multistage.rs:
+crates/core/src/columnar.rs:
 crates/core/src/context.rs:
 crates/core/src/defense.rs:
 crates/core/src/overview/mod.rs:

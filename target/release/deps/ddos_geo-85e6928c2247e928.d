@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ddos_geo-85e6928c2247e928.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
+
+/root/repo/target/release/deps/ddos_geo-85e6928c2247e928: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
+
+crates/ddos-geo/src/lib.rs:
+crates/ddos-geo/src/center.rs:
+crates/ddos-geo/src/country.rs:
+crates/ddos-geo/src/geodb.rs:
+crates/ddos-geo/src/haversine.rs:
+crates/ddos-geo/src/reserved.rs:
+crates/ddos-geo/src/rng.rs:
+crates/ddos-geo/src/trig.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/ddos_geo-f4a340ff36b85e81.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+/root/repo/target/release/deps/ddos_geo-f4a340ff36b85e81.d: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
 
-/root/repo/target/release/deps/libddos_geo-f4a340ff36b85e81.rlib: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+/root/repo/target/release/deps/libddos_geo-f4a340ff36b85e81.rlib: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
 
-/root/repo/target/release/deps/libddos_geo-f4a340ff36b85e81.rmeta: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs
+/root/repo/target/release/deps/libddos_geo-f4a340ff36b85e81.rmeta: crates/ddos-geo/src/lib.rs crates/ddos-geo/src/center.rs crates/ddos-geo/src/country.rs crates/ddos-geo/src/geodb.rs crates/ddos-geo/src/haversine.rs crates/ddos-geo/src/reserved.rs crates/ddos-geo/src/rng.rs crates/ddos-geo/src/trig.rs
 
 crates/ddos-geo/src/lib.rs:
 crates/ddos-geo/src/center.rs:
@@ -11,3 +11,4 @@ crates/ddos-geo/src/geodb.rs:
 crates/ddos-geo/src/haversine.rs:
 crates/ddos-geo/src/reserved.rs:
 crates/ddos-geo/src/rng.rs:
+crates/ddos-geo/src/trig.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ddos_report-269a8343ed10e711.d: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+/root/repo/target/release/deps/ddos_report-269a8343ed10e711: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+crates/ddos-report/src/lib.rs:
+crates/ddos-report/src/compare.rs:
+crates/ddos-report/src/experiments.rs:
+crates/ddos-report/src/series.rs:
+crates/ddos-report/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ddos_report-4b65c0ea4a48786a.d: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+/root/repo/target/release/deps/libddos_report-4b65c0ea4a48786a.rlib: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+/root/repo/target/release/deps/libddos_report-4b65c0ea4a48786a.rmeta: crates/ddos-report/src/lib.rs crates/ddos-report/src/compare.rs crates/ddos-report/src/experiments.rs crates/ddos-report/src/series.rs crates/ddos-report/src/table.rs
+
+crates/ddos-report/src/lib.rs:
+crates/ddos-report/src/compare.rs:
+crates/ddos-report/src/experiments.rs:
+crates/ddos-report/src/series.rs:
+crates/ddos-report/src/table.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ddos_schema-ed83ff16fceeba97.d: crates/ddos-schema/src/lib.rs crates/ddos-schema/src/codec.rs crates/ddos-schema/src/csv.rs crates/ddos-schema/src/dataset.rs crates/ddos-schema/src/error.rs crates/ddos-schema/src/family.rs crates/ddos-schema/src/geo.rs crates/ddos-schema/src/ids.rs crates/ddos-schema/src/ip.rs crates/ddos-schema/src/protocol.rs crates/ddos-schema/src/record.rs crates/ddos-schema/src/snapshot.rs crates/ddos-schema/src/time.rs
+
+/root/repo/target/release/deps/ddos_schema-ed83ff16fceeba97: crates/ddos-schema/src/lib.rs crates/ddos-schema/src/codec.rs crates/ddos-schema/src/csv.rs crates/ddos-schema/src/dataset.rs crates/ddos-schema/src/error.rs crates/ddos-schema/src/family.rs crates/ddos-schema/src/geo.rs crates/ddos-schema/src/ids.rs crates/ddos-schema/src/ip.rs crates/ddos-schema/src/protocol.rs crates/ddos-schema/src/record.rs crates/ddos-schema/src/snapshot.rs crates/ddos-schema/src/time.rs
+
+crates/ddos-schema/src/lib.rs:
+crates/ddos-schema/src/codec.rs:
+crates/ddos-schema/src/csv.rs:
+crates/ddos-schema/src/dataset.rs:
+crates/ddos-schema/src/error.rs:
+crates/ddos-schema/src/family.rs:
+crates/ddos-schema/src/geo.rs:
+crates/ddos-schema/src/ids.rs:
+crates/ddos-schema/src/ip.rs:
+crates/ddos-schema/src/protocol.rs:
+crates/ddos-schema/src/record.rs:
+crates/ddos-schema/src/snapshot.rs:
+crates/ddos-schema/src/time.rs:

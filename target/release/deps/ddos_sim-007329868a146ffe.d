@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ddos_sim-007329868a146ffe.d: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+/root/repo/target/release/deps/ddos_sim-007329868a146ffe: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+crates/ddos-sim/src/lib.rs:
+crates/ddos-sim/src/calibration.rs:
+crates/ddos-sim/src/collab.rs:
+crates/ddos-sim/src/config.rs:
+crates/ddos-sim/src/feed.rs:
+crates/ddos-sim/src/generator.rs:
+crates/ddos-sim/src/profile.rs:
+crates/ddos-sim/src/roster.rs:
+crates/ddos-sim/src/schedule.rs:

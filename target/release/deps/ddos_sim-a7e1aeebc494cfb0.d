@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ddos_sim-a7e1aeebc494cfb0.d: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+/root/repo/target/release/deps/libddos_sim-a7e1aeebc494cfb0.rlib: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+/root/repo/target/release/deps/libddos_sim-a7e1aeebc494cfb0.rmeta: crates/ddos-sim/src/lib.rs crates/ddos-sim/src/calibration.rs crates/ddos-sim/src/collab.rs crates/ddos-sim/src/config.rs crates/ddos-sim/src/feed.rs crates/ddos-sim/src/generator.rs crates/ddos-sim/src/profile.rs crates/ddos-sim/src/roster.rs crates/ddos-sim/src/schedule.rs
+
+crates/ddos-sim/src/lib.rs:
+crates/ddos-sim/src/calibration.rs:
+crates/ddos-sim/src/collab.rs:
+crates/ddos-sim/src/config.rs:
+crates/ddos-sim/src/feed.rs:
+crates/ddos-sim/src/generator.rs:
+crates/ddos-sim/src/profile.rs:
+crates/ddos-sim/src/roster.rs:
+crates/ddos-sim/src/schedule.rs:

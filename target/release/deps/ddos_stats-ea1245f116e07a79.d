@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ddos_stats-ea1245f116e07a79.d: crates/ddos-stats/src/lib.rs crates/ddos-stats/src/descriptive.rs crates/ddos-stats/src/dist.rs crates/ddos-stats/src/ecdf.rs crates/ddos-stats/src/fit.rs crates/ddos-stats/src/histogram.rs crates/ddos-stats/src/rng.rs crates/ddos-stats/src/similarity.rs crates/ddos-stats/src/timeseries/mod.rs crates/ddos-stats/src/timeseries/acf.rs crates/ddos-stats/src/timeseries/arima.rs crates/ddos-stats/src/timeseries/diagnostics.rs crates/ddos-stats/src/timeseries/diff.rs crates/ddos-stats/src/timeseries/forecast.rs crates/ddos-stats/src/timeseries/optimize.rs
+
+/root/repo/target/release/deps/ddos_stats-ea1245f116e07a79: crates/ddos-stats/src/lib.rs crates/ddos-stats/src/descriptive.rs crates/ddos-stats/src/dist.rs crates/ddos-stats/src/ecdf.rs crates/ddos-stats/src/fit.rs crates/ddos-stats/src/histogram.rs crates/ddos-stats/src/rng.rs crates/ddos-stats/src/similarity.rs crates/ddos-stats/src/timeseries/mod.rs crates/ddos-stats/src/timeseries/acf.rs crates/ddos-stats/src/timeseries/arima.rs crates/ddos-stats/src/timeseries/diagnostics.rs crates/ddos-stats/src/timeseries/diff.rs crates/ddos-stats/src/timeseries/forecast.rs crates/ddos-stats/src/timeseries/optimize.rs
+
+crates/ddos-stats/src/lib.rs:
+crates/ddos-stats/src/descriptive.rs:
+crates/ddos-stats/src/dist.rs:
+crates/ddos-stats/src/ecdf.rs:
+crates/ddos-stats/src/fit.rs:
+crates/ddos-stats/src/histogram.rs:
+crates/ddos-stats/src/rng.rs:
+crates/ddos-stats/src/similarity.rs:
+crates/ddos-stats/src/timeseries/mod.rs:
+crates/ddos-stats/src/timeseries/acf.rs:
+crates/ddos-stats/src/timeseries/arima.rs:
+crates/ddos-stats/src/timeseries/diagnostics.rs:
+crates/ddos-stats/src/timeseries/diff.rs:
+crates/ddos-stats/src/timeseries/forecast.rs:
+crates/ddos-stats/src/timeseries/optimize.rs:

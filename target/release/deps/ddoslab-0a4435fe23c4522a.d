@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ddoslab-0a4435fe23c4522a.d: crates/ddos-report/src/bin/ddoslab.rs
+
+/root/repo/target/release/deps/ddoslab-0a4435fe23c4522a: crates/ddos-report/src/bin/ddoslab.rs
+
+crates/ddos-report/src/bin/ddoslab.rs:

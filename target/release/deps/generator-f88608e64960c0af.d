@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generator-f88608e64960c0af.d: crates/bench/benches/generator.rs
+
+/root/repo/target/release/deps/generator-f88608e64960c0af: crates/bench/benches/generator.rs
+
+crates/bench/benches/generator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/intervals-8f8af01c8ab26b92.d: crates/bench/benches/intervals.rs
+
+/root/repo/target/release/deps/intervals-8f8af01c8ab26b92: crates/bench/benches/intervals.rs
+
+crates/bench/benches/intervals.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-b41b388cffb5d1f4.d: crates/core/../../tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-b41b388cffb5d1f4: crates/core/../../tests/invariants.rs
+
+crates/core/../../tests/invariants.rs:

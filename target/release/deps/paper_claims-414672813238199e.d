@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-414672813238199e.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-414672813238199e: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-60dfc0de46fe8273.d: crates/core/../../tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-60dfc0de46fe8273: crates/core/../../tests/pipeline.rs
+
+crates/core/../../tests/pipeline.rs:

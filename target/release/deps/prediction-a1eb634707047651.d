@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prediction-a1eb634707047651.d: crates/bench/benches/prediction.rs
+
+/root/repo/target/release/deps/prediction-a1eb634707047651: crates/bench/benches/prediction.rs
+
+crates/bench/benches/prediction.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1345b076334e439e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1345b076334e439e.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1345b076334e439e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-00f870182cdba57c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-00f870182cdba57c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

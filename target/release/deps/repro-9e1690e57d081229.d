@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9e1690e57d081229.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9e1690e57d081229: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-ac32e8a2c36a95d1.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-ac32e8a2c36a95d1.rlib: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-ac32e8a2c36a95d1.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/ser.rs:

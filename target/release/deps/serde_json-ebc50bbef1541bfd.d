@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-ebc50bbef1541bfd.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ebc50bbef1541bfd.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ebc50bbef1541bfd.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/source-68f88ab0a2557bdb.d: crates/bench/benches/source.rs
+
+/root/repo/target/release/deps/source-68f88ab0a2557bdb: crates/bench/benches/source.rs
+
+crates/bench/benches/source.rs:

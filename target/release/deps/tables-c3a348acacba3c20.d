@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-c3a348acacba3c20.d: crates/bench/benches/tables.rs
+
+/root/repo/target/release/deps/tables-c3a348acacba3c20: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

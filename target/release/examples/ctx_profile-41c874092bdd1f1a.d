@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ctx_profile-41c874092bdd1f1a.d: crates/bench/examples/ctx_profile.rs
+
+/root/repo/target/release/examples/ctx_profile-41c874092bdd1f1a: crates/bench/examples/ctx_profile.rs
+
+crates/bench/examples/ctx_profile.rs:

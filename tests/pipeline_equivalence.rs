@@ -1,8 +1,11 @@
 //! The pass-based pipeline's contract: the parallel schedule, the serial
 //! fallback, and the pre-refactor baseline all serialize to the exact
 //! same report — on simulated traces and on arbitrary small datasets.
+//! Likewise for the context build underneath: the columnar parallel
+//! build, the columnar serial build, and the pre-columnar reference
+//! build carry bit-identical analysis inputs.
 
-use ddos_analytics::{AnalysisReport, PipelineOptions};
+use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
 use ddos_schema::record::{AttackRecord, BotRecord, Location};
 use ddos_schema::{
     Asn, BotnetId, CityId, CountryCode, Dataset, DatasetBuilder, DdosId, Family, IpAddr4, LatLon,
@@ -36,10 +39,26 @@ fn assert_all_variants_agree(ds: &Dataset) {
     );
 }
 
+/// Builds the context all three ways and asserts the analysis inputs
+/// (dispersion series bit-for-bit, weekly bot maps, timelines) agree.
+fn assert_context_builds_agree(ds: &Dataset) {
+    let serial = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, false);
+    let parallel = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, true);
+    let reference = AnalysisContext::build_reference(ds, ArimaSpec::DEFAULT);
+    serial.assert_same_analysis(&parallel);
+    serial.assert_same_analysis(&reference);
+}
+
 #[test]
 fn simulated_trace_reports_are_byte_identical() {
     let trace = generate(&SimConfig::small());
     assert_all_variants_agree(&trace.dataset);
+}
+
+#[test]
+fn simulated_trace_context_builds_are_bit_identical() {
+    let trace = generate(&SimConfig::small());
+    assert_context_builds_agree(&trace.dataset);
 }
 
 /// Paper-scale variant of the equivalence check (~50k attacks). Slow in
@@ -49,6 +68,7 @@ fn simulated_trace_reports_are_byte_identical() {
 fn paper_scale_reports_are_byte_identical() {
     let trace = generate(&SimConfig::default());
     assert_all_variants_agree(&trace.dataset);
+    assert_context_builds_agree(&trace.dataset);
 }
 
 // ------------------------------------------------------ property tests
@@ -143,5 +163,6 @@ proptest! {
         }
         let ds = builder.build().unwrap();
         assert_all_variants_agree(&ds);
+        assert_context_builds_agree(&ds);
     }
 }
