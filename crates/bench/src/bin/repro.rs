@@ -11,6 +11,8 @@
 //! repro --ctx-bench     # time columnar context build vs PR 2 path,
 //!                       # emit BENCH_context.json
 //! repro --ctx-bench --smoke  # small trace, equivalence assertions only
+//! repro --telemetry-json FILE  # write the run's span/metric telemetry
+//! repro --report-digest # print the golden-trace report digest
 //! ```
 
 use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
@@ -25,7 +27,9 @@ fn main() {
     let mut pipeline_bench = false;
     let mut ctx_bench = false;
     let mut smoke = false;
+    let mut report_digest = false;
     let mut out_dir: Option<String> = None;
+    let mut telemetry_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,10 +40,14 @@ fn main() {
                     .expect("--scale takes a number");
             }
             "--out" => out_dir = Some(args.next().expect("--out takes a directory")),
+            "--telemetry-json" => {
+                telemetry_out = Some(args.next().expect("--telemetry-json takes a file"));
+            }
             "--md" => emit_md = true,
             "--pipeline-bench" => pipeline_bench = true,
             "--ctx-bench" => ctx_bench = true,
             "--smoke" => smoke = true,
+            "--report-digest" => report_digest = true,
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{:<4} {} — {}", e.id, e.title, e.description);
@@ -58,6 +66,10 @@ fn main() {
         run_pipeline_bench(scale);
         return;
     }
+    if report_digest {
+        run_report_digest();
+        return;
+    }
 
     eprintln!("generating trace at scale {scale}...");
     let t0 = std::time::Instant::now();
@@ -73,6 +85,16 @@ fn main() {
     let t1 = std::time::Instant::now();
     let report = AnalysisReport::run(&trace.dataset);
     eprintln!("analysis pipeline finished in {:?}\n", t1.elapsed());
+
+    if let Some(path) = &telemetry_out {
+        let json = serde_json::to_string_pretty(&report.telemetry).expect("telemetry serializes");
+        std::fs::write(path, json).expect("writing telemetry json");
+        eprintln!("wrote {path}");
+        // Telemetry-only invocation: done once the artifact is written.
+        if ids.is_empty() && !emit_md && out_dir.is_none() {
+            return;
+        }
+    }
 
     if emit_md {
         print!("{}", experiments_markdown(scale, &trace, &report));
@@ -156,7 +178,7 @@ fn run_pipeline_bench(scale: f64) {
 
     // The serial schedule's per-pass numbers are exact (no thread
     // interleaving inflates them), so show that table.
-    println!("{}", serial.timings.render());
+    println!("{}", serial.telemetry.render());
     let base_s = baseline_elapsed.as_secs_f64();
     let serial_s = serial_elapsed.as_secs_f64();
     let pipe_s = pipeline_elapsed.as_secs_f64();
@@ -300,6 +322,25 @@ fn run_ctx_bench(scale: f64, smoke: bool) {
     );
     std::fs::write("BENCH_context.json", &json).expect("writing BENCH_context.json");
     eprintln!("wrote BENCH_context.json");
+}
+
+/// Prints the FNV-1a 64 digest of the golden trace's full report — the
+/// value `tests/golden/report_small.digest` pins. Regenerate the file
+/// with `repro --report-digest > tests/golden/report_small.digest`
+/// after an intentional report change.
+fn run_report_digest() {
+    let cfg = SimConfig::small();
+    let trace = generate(&cfg);
+    let report = AnalysisReport::run(&trace.dataset);
+    let json = serde_json::to_string(&report).expect("report serializes");
+    println!("{}", ddos_obs::fnv1a_64_hex(json.as_bytes()));
+    eprintln!(
+        "golden trace: scale {}, seed {:#x}, {} attacks, {} report bytes",
+        cfg.scale,
+        cfg.seed,
+        trace.dataset.len(),
+        json.len()
+    );
 }
 
 /// Renders the EXPERIMENTS.md body from the comparison rows.

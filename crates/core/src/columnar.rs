@@ -444,6 +444,12 @@ impl SourceTable {
     pub fn unresolved_in(&self, attack: usize) -> u32 {
         self.unresolved[attack]
     }
+
+    /// Total participations across the trace that did not resolve to a
+    /// bot row (telemetry: the `context/unresolved_sources` gauge).
+    pub fn unresolved_total(&self) -> u64 {
+        self.unresolved.iter().map(|&n| u64::from(n)).sum()
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,8 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use ddos_geo::{dispersion, dispersion_precomp_indexed};
+use ddos_geo::{dispersion, dispersion_precomp_indexed_counted, KernelCounters};
+use ddos_obs::Obs;
 use ddos_schema::{CountryCode, Dataset, Family, IpAddr4, Timestamp};
 use ddos_stats::ArimaSpec;
 
@@ -159,6 +160,7 @@ fn resolve_family_chunk(
     attack_indices: &[u32],
     num_weeks: usize,
     stamp: &mut WeekStamp,
+    kernel: &KernelCounters,
 ) -> FamilyChunk {
     let window = dataset.window();
     let attacks = dataset.attacks();
@@ -227,7 +229,7 @@ fn resolve_family_chunk(
             );
             &rows
         };
-        let Some(d) = dispersion_precomp_indexed(bots.trigs(), row_list) else {
+        let Some(d) = dispersion_precomp_indexed_counted(bots.trigs(), row_list, kernel) else {
             continue;
         };
         if let Some(day) = window.day_index(a.start) {
@@ -270,11 +272,40 @@ impl<'a> AnalysisContext<'a> {
         spec: ArimaSpec,
         parallel: bool,
     ) -> AnalysisContext<'a> {
+        Self::build_obs(dataset, spec, parallel, &Obs::disabled())
+    }
+
+    /// [`AnalysisContext::build_opts`] with the build stages telemetered
+    /// into `obs`: one `context/<stage>` span per phase, gauges for the
+    /// table sizes, a `context/chunk_us` histogram of per-chunk
+    /// resolution time, and `geo/dispersion_*` counters of kernel work.
+    /// Recording is relaxed-atomic handles on the worker paths, so the
+    /// built context is bit-identical with telemetry on, off, serial,
+    /// or parallel.
+    pub fn build_obs(
+        dataset: &'a Dataset,
+        spec: ArimaSpec,
+        parallel: bool,
+        obs: &Obs,
+    ) -> AnalysisContext<'a> {
+        let bot_span = obs.span("context/bot_table");
         let bot_table = BotTable::build(dataset);
+        drop(bot_span);
+        let src_span = obs.span("context/source_table");
         let sources = SourceTable::build(dataset, &bot_table, parallel);
+        drop(src_span);
         let window = dataset.window();
         let attacks = dataset.attacks();
+        obs.gauge("context/attacks").set(attacks.len() as u64);
+        obs.gauge("context/bots").set(bot_table.len() as u64);
+        obs.gauge("context/source_dict_ips")
+            .set(sources.dict_len() as u64);
+        obs.gauge("context/participations")
+            .set(sources.participations() as u64);
+        obs.gauge("context/unresolved_sources")
+            .set(sources.unresolved_total());
 
+        let timeline_span = obs.span("context/timelines");
         let mut durations = Vec::with_capacity(attacks.len());
         let mut all_starts = Vec::with_capacity(attacks.len());
         for a in attacks {
@@ -306,12 +337,16 @@ impl<'a> AnalysisContext<'a> {
             });
             run = end;
         }
+        drop(timeline_span);
 
         let num_weeks = window.num_weeks();
 
         // Per-family fan-out with chunked intra-family resolution: the
         // big families split into enough chunks to keep every worker
         // busy; a shared counter hands out chunks dynamically.
+        let family_span = obs.span("context/family_resolution");
+        let kernel = KernelCounters::default();
+        let chunk_hist = obs.histogram("context/chunk_us");
         let pieces = if parallel { worker_count() } else { 1 };
         let mut jobs: Vec<(usize, &[u32])> = Vec::new();
         for (slot, family) in Family::ACTIVE.into_iter().enumerate() {
@@ -324,12 +359,21 @@ impl<'a> AnalysisContext<'a> {
         // chunks it drains ([`WeekStamp`] hands every chunk a fresh tag
         // range, so no re-zeroing between chunks).
         let run_job = |&(slot, indices): &(usize, &[u32]), stamp: &mut WeekStamp| {
-            (
-                slot,
-                resolve_family_chunk(dataset, &bot_table, &sources, indices, num_weeks, stamp),
-            )
+            let t0 = obs.now_us();
+            let chunk = resolve_family_chunk(
+                dataset, &bot_table, &sources, indices, num_weeks, stamp, &kernel,
+            );
+            chunk_hist.record(obs.now_us().saturating_sub(t0));
+            (slot, chunk)
         };
         let workers = worker_count().min(jobs.len());
+        obs.gauge("context/family_jobs").set(jobs.len() as u64);
+        obs.gauge("context/workers")
+            .set(if parallel && workers > 1 {
+                workers as u64
+            } else {
+                1
+            });
         let mut outs: Vec<(usize, usize, FamilyChunk)> = if parallel && workers > 1 {
             let next = AtomicUsize::new(0);
             let mut collected: Vec<(usize, usize, FamilyChunk)> =
@@ -402,6 +446,12 @@ impl<'a> AnalysisContext<'a> {
         for (fc, days) in families.iter_mut().zip(day_sets) {
             fc.dispersion.active_days = days.len();
         }
+        drop(family_span);
+        obs.counter("geo/dispersion_snapshots")
+            .add(kernel.snapshots());
+        obs.counter("geo/dispersion_points").add(kernel.points());
+        obs.counter("geo/dispersion_degenerate")
+            .add(kernel.degenerate());
 
         AnalysisContext {
             dataset,
@@ -654,6 +704,54 @@ mod tests {
         let reference = AnalysisContext::build_reference(&ds, ArimaSpec::DEFAULT);
         serial.assert_same_analysis(&parallel);
         serial.assert_same_analysis(&reference);
+    }
+
+    #[test]
+    fn instrumented_build_is_identical_and_records_stages() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Pandora, 2, 120, 700, 1),
+            attack(Family::Pandora, 3, 900, 700, 2),
+        ]);
+        let obs = Obs::enabled();
+        let instrumented = AnalysisContext::build_obs(&ds, ArimaSpec::DEFAULT, true, &obs);
+        let quiet = AnalysisContext::build_opts(&ds, ArimaSpec::DEFAULT, true);
+        instrumented.assert_same_analysis(&quiet);
+        let t = obs.finish(true);
+        for stage in [
+            "context/bot_table",
+            "context/source_table",
+            "context/timelines",
+            "context/family_resolution",
+        ] {
+            assert!(t.span(stage).is_some(), "missing build stage span {stage}");
+        }
+        assert_eq!(
+            t.metrics.gauge("context/attacks"),
+            Some(ds.attacks().len() as u64)
+        );
+        assert_eq!(
+            t.metrics.gauge("context/participations"),
+            Some(instrumented.sources.participations() as u64)
+        );
+        // Every chunk landed in the histogram, and the kernel tallied
+        // one snapshot per series point (plus any degenerate ones).
+        let jobs = t.metrics.gauge("context/family_jobs").unwrap();
+        let hist = t
+            .metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == "context/chunk_us")
+            .unwrap();
+        assert_eq!(hist.histogram.count, jobs);
+        let series: u64 = instrumented
+            .families()
+            .iter()
+            .map(|fc| fc.dispersion.series.len() as u64)
+            .sum();
+        let snaps = t.metrics.counter("geo/dispersion_snapshots").unwrap();
+        let degen = t.metrics.counter("geo/dispersion_degenerate").unwrap();
+        assert_eq!(snaps - degen, series);
     }
 
     #[test]

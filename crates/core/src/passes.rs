@@ -7,7 +7,13 @@
 //! when asked — runs the passes of a stage on scoped threads. Because
 //! passes are pure functions of the context and their declared
 //! dependencies, the parallel schedule produces a report byte-identical
-//! to the serial one; only the [`PassTiming`]s differ.
+//! to the serial one; only the recorded telemetry differs.
+//!
+//! Observability: [`execute`] records one `passes/<name>` span per pass
+//! and one `scheduler/stage<i>` span per dependency stage into the
+//! [`Obs`] it is handed, plus a `scheduler/wait_us` histogram of
+//! spawn-to-start latency on threaded stages — the run's scheduler
+//! behavior, captured without touching report bytes.
 //!
 //! # Adding a pass
 //!
@@ -20,8 +26,8 @@
 //!    (`PartialReport::into_report`).
 
 use std::collections::HashSet;
-use std::time::Instant;
 
+use ddos_obs::Obs;
 use ddos_schema::{CountryCode, Family};
 
 use crate::collab::concurrent::{CollabAnalysis, PairFocus};
@@ -43,52 +49,6 @@ use crate::target::recurrence::RecurrenceAnalysis;
 /// The detection-latency grid of the report (§III-D: 1 min, 10 min,
 /// 1 h, 4 h, 1 day).
 pub const LATENCY_GRID_S: &[f64] = &[60.0, 600.0, 3_600.0, 4.0 * 3_600.0, 86_400.0];
-
-/// Wall-clock of one finished pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PassTiming {
-    /// The pass name (see [`REGISTRY`]).
-    pub name: &'static str,
-    /// Time spent inside the pass, microseconds.
-    pub micros: u128,
-}
-
-/// Wall-clock breakdown of one pipeline run. Excluded from the
-/// serialized report (timings are machine-dependent metadata, and
-/// keeping them out is what makes parallel and serial reports
-/// byte-identical).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct PassTimings {
-    /// Time spent building the [`AnalysisContext`], microseconds.
-    pub context_micros: u128,
-    /// Per-pass wall-clock, in completion (stage, registry) order.
-    pub passes: Vec<PassTiming>,
-    /// End-to-end pipeline wall-clock, microseconds.
-    pub total_micros: u128,
-    /// Whether the stages ran on scoped threads.
-    pub parallel: bool,
-}
-
-impl PassTimings {
-    /// The slowest pass, if any ran.
-    pub fn slowest(&self) -> Option<&PassTiming> {
-        self.passes.iter().max_by_key(|t| t.micros)
-    }
-
-    /// Renders the breakdown as an aligned text table.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        let mode = if self.parallel { "parallel" } else { "serial" };
-        out.push_str(&format!("pipeline timings ({mode})\n"));
-        out.push_str(&format!("{:<18} {:>12}\n", "pass", "micros"));
-        out.push_str(&format!("{:<18} {:>12}\n", "context", self.context_micros));
-        for t in &self.passes {
-            out.push_str(&format!("{:<18} {:>12}\n", t.name, t.micros));
-        }
-        out.push_str(&format!("{:<18} {:>12}\n", "total", self.total_micros));
-        out
-    }
-}
 
 /// The output of one pass — one report section.
 #[derive(Debug, Clone)]
@@ -386,30 +346,37 @@ pub const REGISTRY: &[PassSpec] = &[
     },
 ];
 
-fn run_timed(
+/// Runs one pass, stamping its start/end offsets off the observer's
+/// clock (offsets are recorded by the driver after the join, so worker
+/// threads never contend on the span sink mid-stage).
+fn run_pass(
     pass: &'static PassSpec,
     ctx: &AnalysisContext,
     partial: &PartialReport,
-) -> (&'static str, PassOutput, u128) {
-    let t0 = Instant::now();
+    obs: &Obs,
+) -> (&'static str, PassOutput, u64, u64) {
+    let start_us = obs.now_us();
     let out = (pass.run)(ctx, partial);
-    (pass.name, out, t0.elapsed().as_micros())
+    (pass.name, out, start_us, obs.now_us())
 }
 
-/// Runs the whole registry against a context.
+/// Runs the whole registry against a context, recording telemetry into
+/// `obs` (hand it [`Obs::disabled`] for an uninstrumented run).
 ///
 /// Passes are grouped into stages: a stage holds every not-yet-run pass
 /// whose dependencies have all finished. With `parallel` set, the passes
 /// of a stage run on scoped threads ([`crossbeam::thread::scope`]);
 /// results are joined in registry order, so the assembled report — and
-/// even the order of the returned timings — does not depend on thread
+/// even the order of the recorded pass spans — does not depend on thread
 /// interleaving. Serial execution is the fallback and runs the exact
 /// same functions in the exact same order.
-pub fn execute(ctx: &AnalysisContext, parallel: bool) -> (PartialReport, Vec<PassTiming>) {
+pub fn execute(ctx: &AnalysisContext, parallel: bool, obs: &Obs) -> PartialReport {
+    let wait_hist = obs.histogram("scheduler/wait_us");
+    let stage_counter = obs.counter("scheduler/stages");
     let mut partial = PartialReport::default();
-    let mut timings = Vec::with_capacity(REGISTRY.len());
     let mut done: HashSet<&'static str> = HashSet::new();
     let mut remaining: Vec<&'static PassSpec> = REGISTRY.iter().collect();
+    let mut stage_idx = 0usize;
     while !remaining.is_empty() {
         let (stage, rest): (Vec<_>, Vec<_>) = remaining
             .into_iter()
@@ -419,12 +386,14 @@ pub fn execute(ctx: &AnalysisContext, parallel: bool) -> (PartialReport, Vec<Pas
             "pass registry has a dependency cycle or an unknown dep name"
         );
         remaining = rest;
-        let results: Vec<(&'static str, PassOutput, u128)> = if parallel && stage.len() > 1 {
+        let stage_start = obs.now_us();
+        let threaded = parallel && stage.len() > 1;
+        let results: Vec<(&'static str, PassOutput, u64, u64)> = if threaded {
             let partial_ref = &partial;
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = stage
                     .iter()
-                    .map(|&p| scope.spawn(move |_| run_timed(p, ctx, partial_ref)))
+                    .map(|&p| scope.spawn(move |_| run_pass(p, ctx, partial_ref, obs)))
                     .collect();
                 handles
                     .into_iter()
@@ -433,15 +402,30 @@ pub fn execute(ctx: &AnalysisContext, parallel: bool) -> (PartialReport, Vec<Pas
             })
             .expect("analysis pass scope panicked")
         } else {
-            stage.iter().map(|&p| run_timed(p, ctx, &partial)).collect()
+            stage
+                .iter()
+                .map(|&p| run_pass(p, ctx, &partial, obs))
+                .collect()
         };
-        for (name, out, micros) in results {
+        for (name, out, start_us, end_us) in results {
+            if threaded {
+                // Spawn-to-start latency: how long the pass sat between
+                // the stage opening and its thread actually running it.
+                wait_hist.record(start_us.saturating_sub(stage_start));
+            }
+            obs.record_span(format!("passes/{name}"), start_us, end_us);
             partial.apply(out);
-            timings.push(PassTiming { name, micros });
             done.insert(name);
         }
+        obs.record_span(
+            format!("scheduler/stage{stage_idx}"),
+            stage_start,
+            obs.now_us(),
+        );
+        stage_counter.inc();
+        stage_idx += 1;
     }
-    (partial, timings)
+    partial
 }
 
 #[cfg(test)]
@@ -469,32 +453,42 @@ mod tests {
         ]);
         let ctx = AnalysisContext::new(&ds);
         for parallel in [false, true] {
-            let (partial, timings) = execute(&ctx, parallel);
-            assert_eq!(timings.len(), REGISTRY.len());
+            let obs = Obs::enabled();
+            let partial = execute(&ctx, parallel, &obs);
             assert!(partial.protocols.is_some());
             assert!(partial.flagship_pair.is_some());
             assert!(partial.latency.is_some());
-            // flagship_pair must run after collaborations.
-            let pos = |n: &str| timings.iter().position(|t| t.name == n).unwrap();
+            let t = obs.finish(parallel);
+            assert_eq!(t.spans_under("passes").count(), REGISTRY.len());
+            // flagship_pair must run after collaborations (spans are
+            // sorted by start time, so position order is run order).
+            let pos = |n: &str| {
+                t.spans
+                    .iter()
+                    .position(|s| s.path == format!("passes/{n}"))
+                    .unwrap()
+            };
             assert!(pos("flagship_pair") > pos("collaborations"));
+            assert_eq!(
+                t.metrics.counter("scheduler/stages"),
+                Some(t.spans_under("scheduler").count() as u64)
+            );
         }
     }
 
     #[test]
-    fn timings_render_mentions_every_pass() {
-        let t = PassTimings {
-            context_micros: 1,
-            passes: vec![PassTiming {
-                name: "protocols",
-                micros: 2,
-            }],
-            total_micros: 3,
-            parallel: true,
-        };
-        let s = t.render();
-        assert!(s.contains("protocols"));
-        assert!(s.contains("context"));
-        assert!(s.contains("parallel"));
-        assert_eq!(t.slowest().unwrap().name, "protocols");
+    fn disabled_observer_runs_identical_passes() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Pandora, 2, 120, 700, 1),
+        ]);
+        let ctx = AnalysisContext::new(&ds);
+        let on = Obs::enabled();
+        let off = Obs::disabled();
+        let a = execute(&ctx, true, &on);
+        let b = execute(&ctx, true, &off);
+        assert_eq!(a.protocols, b.protocols);
+        assert_eq!(a.flagship_pair, b.flagship_pair);
+        assert!(off.finish(true).is_empty());
     }
 }

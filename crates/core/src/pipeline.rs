@@ -8,9 +8,14 @@
 //! outputs. [`AnalysisReport::run_baseline`] preserves the original
 //! monolithic path — every analysis rescanning the dataset for itself —
 //! as the reference for equivalence tests and the pipeline benchmark.
+//!
+//! Every run carries a [`RunTelemetry`]: hierarchical spans per build
+//! stage and per pass, plus scheduler/kernel metrics, recorded through
+//! [`ddos_obs::Obs`]. Telemetry is run metadata — `#[serde(skip)]` on
+//! the report field — so its presence (or absence, see
+//! [`PipelineOptions::telemetry`]) never changes report bytes.
 
-use std::time::Instant;
-
+use ddos_obs::{Obs, RunTelemetry};
 use ddos_schema::{Dataset, Family};
 use ddos_stats::ArimaSpec;
 use serde::{Deserialize, Serialize};
@@ -24,7 +29,7 @@ use crate::overview::daily::DailyDistribution;
 use crate::overview::duration::DurationAnalysis;
 use crate::overview::intervals::{self, ConcurrencyAnalysis, IntervalStats};
 use crate::overview::protocols::{protocol_preferences, ProtocolFamilyRow, ProtocolPopularity};
-use crate::passes::{self, PartialReport, PassTimings, LATENCY_GRID_S};
+use crate::passes::{self, PartialReport, LATENCY_GRID_S};
 use crate::source::dispersion::{qualifying_families, FamilyDispersion};
 use crate::source::prediction::PredictionAnalysis;
 use crate::source::shift::ShiftAnalysis;
@@ -42,6 +47,11 @@ pub struct PipelineOptions {
     /// The serialized report is byte-identical either way; only
     /// wall-clock differs.
     pub parallel: bool,
+    /// Record spans and metrics into [`AnalysisReport::telemetry`].
+    /// Off means a no-op recorder ([`Obs::disabled`]) — the exact same
+    /// code runs and the report bytes are identical (the conformance
+    /// suite asserts this); only the telemetry artifact is empty.
+    pub telemetry: bool,
 }
 
 impl Default for PipelineOptions {
@@ -49,6 +59,7 @@ impl Default for PipelineOptions {
         PipelineOptions {
             spec: ArimaSpec::DEFAULT,
             parallel: true,
+            telemetry: true,
         }
     }
 }
@@ -97,11 +108,12 @@ pub struct AnalysisReport {
     pub blacklist: BlacklistSim,
     /// §III-D — detection-latency sweep (1 min, 10 min, 1 h, 4 h, 1 day).
     pub latency: Vec<LatencyPoint>,
-    /// Wall-clock breakdown of the run (machine-dependent metadata —
+    /// Spans and metrics of the run (machine-dependent metadata —
     /// never serialized, so parallel and serial reports stay
-    /// byte-identical).
+    /// byte-identical). Empty when telemetry was off or the report
+    /// came from [`AnalysisReport::run_baseline`].
     #[serde(skip)]
-    pub timings: PassTimings,
+    pub telemetry: RunTelemetry,
 }
 
 impl AnalysisReport {
@@ -126,18 +138,30 @@ impl AnalysisReport {
     /// per-family fan-out over the columnar substrate) and the pass
     /// scheduler; the serialized report is identical either way.
     pub fn run_opts(ds: &Dataset, opts: PipelineOptions) -> AnalysisReport {
-        let t0 = Instant::now();
-        let ctx = AnalysisContext::build_opts(ds, opts.spec, opts.parallel);
-        let context_micros = t0.elapsed().as_micros();
-        let (partial, pass_timings) = passes::execute(&ctx, opts.parallel);
-        let mut report = assemble(partial);
-        report.timings = PassTimings {
-            context_micros,
-            passes: pass_timings,
-            total_micros: t0.elapsed().as_micros(),
-            parallel: opts.parallel,
+        let obs = if opts.telemetry {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
         };
+        let ctx = {
+            let _span = obs.span("context");
+            AnalysisContext::build_obs(ds, opts.spec, opts.parallel, &obs)
+        };
+        let partial = passes::execute(&ctx, opts.parallel, &obs);
+        let mut report = {
+            let _span = obs.span("assemble");
+            assemble(partial)
+        };
+        report.telemetry = obs.finish(opts.parallel);
         report
+    }
+
+    /// Runs the pass scheduler over a context built elsewhere (the
+    /// conformance suite uses this to feed the same passes a columnar
+    /// and a reference-built context). No telemetry is recorded — the
+    /// context build, where most of it lives, already happened.
+    pub fn run_on(ctx: &AnalysisContext, parallel: bool) -> AnalysisReport {
+        assemble(passes::execute(ctx, parallel, &Obs::disabled()))
     }
 
     /// The pre-refactor monolithic pipeline: every analysis rescans the
@@ -178,7 +202,7 @@ impl AnalysisReport {
             recurrence: RecurrenceAnalysis::compute(ds, None),
             blacklist: BlacklistSim::run(ds),
             latency: detection_latency_sweep(ds, LATENCY_GRID_S),
-            timings: PassTimings::default(),
+            telemetry: RunTelemetry::default(),
         }
     }
 }
@@ -214,7 +238,7 @@ fn assemble(partial: PartialReport) -> AnalysisReport {
         recurrence: take!(recurrence),
         blacklist: take!(blacklist),
         latency: take!(latency),
-        timings: PassTimings::default(),
+        telemetry: RunTelemetry::default(),
     }
 }
 
@@ -250,9 +274,17 @@ mod tests {
             .find(|&&(f, _)| f == Family::Nitol)
             .unwrap();
         assert!(nitol.1.is_none());
-        // The run carries its timing breakdown.
-        assert_eq!(r.timings.passes.len(), passes::REGISTRY.len());
-        assert!(r.timings.parallel);
+        // The run carries its telemetry: one span per pass, the build
+        // stages under `context/`, and scheduler metrics.
+        assert_eq!(
+            r.telemetry.spans_under("passes").count(),
+            passes::REGISTRY.len()
+        );
+        assert!(r.telemetry.span("context").is_some());
+        assert!(r.telemetry.span("context/bot_table").is_some());
+        assert!(r.telemetry.span("assemble").is_some());
+        assert!(r.telemetry.parallel);
+        assert!(r.telemetry.metrics.counter("scheduler/stages").unwrap() > 0);
     }
 
     #[test]
@@ -290,12 +322,22 @@ mod tests {
             },
         );
         let baseline = AnalysisReport::run_baseline(&ds, ArimaSpec::DEFAULT);
+        let quiet = AnalysisReport::run_opts(
+            &ds,
+            PipelineOptions {
+                telemetry: false,
+                ..PipelineOptions::default()
+            },
+        );
         let json = |r: &AnalysisReport| serde_json::to_string(r).unwrap();
         assert_eq!(json(&parallel), json(&serial));
         assert_eq!(json(&parallel), json(&baseline));
-        // Timings are metadata: excluded from serialization.
-        assert!(!json(&parallel).contains("timings"));
-        assert!(!serial.timings.parallel);
-        assert_eq!(baseline.timings, PassTimings::default());
+        // Telemetry is metadata: excluded from serialization, and
+        // turning it off changes nothing but the attached artifact.
+        assert_eq!(json(&parallel), json(&quiet));
+        assert!(!json(&parallel).contains("telemetry"));
+        assert!(!serial.telemetry.parallel);
+        assert!(quiet.telemetry.is_empty());
+        assert!(baseline.telemetry.is_empty());
     }
 }

@@ -16,6 +16,8 @@
 //! property the paper relies on — east/west-symmetric populations cancel
 //! to zero — and is documented here so results are reproducible.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use ddos_schema::LatLon;
 use serde::{Deserialize, Serialize};
 
@@ -252,6 +254,56 @@ pub fn dispersion_precomp_indexed(col: &[PointTrig], rows: &[u32]) -> Option<Dis
     })
 }
 
+/// Relaxed-atomic tallies of dispersion-kernel work, safe to share
+/// across the context build's worker threads. An observability layer
+/// (the pipeline's `ddos-obs` run telemetry) folds these into its
+/// metrics after the build; the kernels themselves never read them, so
+/// counting cannot perturb a result.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    snapshots: AtomicU64,
+    points: AtomicU64,
+    degenerate: AtomicU64,
+}
+
+impl KernelCounters {
+    /// Snapshot evaluations tallied so far.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Point (bot-participation) reads tallied so far.
+    pub fn points(&self) -> u64 {
+        self.points.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots that produced no dispersion (empty or degenerate set).
+    pub fn degenerate(&self) -> u64 {
+        self.degenerate.load(Ordering::Relaxed)
+    }
+}
+
+/// [`dispersion_precomp_indexed`] with work tallied into `counters` —
+/// two relaxed atomic adds per snapshot (three for the degenerate
+/// case), cheap enough for the hot path. The returned value is the
+/// uncounted kernel's verbatim.
+#[inline]
+pub fn dispersion_precomp_indexed_counted(
+    col: &[PointTrig],
+    rows: &[u32],
+    counters: &KernelCounters,
+) -> Option<Dispersion> {
+    counters.snapshots.fetch_add(1, Ordering::Relaxed);
+    counters
+        .points
+        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+    let d = dispersion_precomp_indexed(col, rows);
+    if d.is_none() {
+        counters.degenerate.fetch_add(1, Ordering::Relaxed);
+    }
+    d
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +390,30 @@ mod tests {
     fn dispersion_counts_points() {
         let pts = [p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)];
         assert_eq!(dispersion(&pts).unwrap().count, 3);
+    }
+
+    #[test]
+    fn counted_kernel_is_verbatim_and_tallies() {
+        let col: Vec<PointTrig> = [p(10.0, 20.0), p(-5.0, 40.0), p(55.0, 37.0)]
+            .iter()
+            .map(|&q| PointTrig::new(q))
+            .collect();
+        let counters = KernelCounters::default();
+        let rows = [0u32, 2, 1, 0];
+        let counted = dispersion_precomp_indexed_counted(&col, &rows, &counters);
+        let plain = dispersion_precomp_indexed(&col, &rows);
+        assert_eq!(
+            counted.map(|d| d.signed_sum_km.to_bits()),
+            plain.map(|d| d.signed_sum_km.to_bits())
+        );
+        assert_eq!(counters.snapshots(), 1);
+        assert_eq!(counters.points(), 4);
+        assert_eq!(counters.degenerate(), 0);
+        // Empty row list: degenerate, still one snapshot, zero points.
+        assert!(dispersion_precomp_indexed_counted(&col, &[], &counters).is_none());
+        assert_eq!(counters.snapshots(), 2);
+        assert_eq!(counters.points(), 4);
+        assert_eq!(counters.degenerate(), 1);
     }
 
     proptest! {

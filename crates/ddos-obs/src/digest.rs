@@ -1,0 +1,49 @@
+//! Stable content digests for golden-report conformance.
+//!
+//! FNV-1a over the serialized report bytes: no dependencies, endianness-
+//! free (it consumes bytes), and stable across platforms and Rust
+//! versions — exactly what a committed golden digest needs. This is a
+//! *conformance fingerprint*, not a cryptographic hash; the threat model
+//! is accidental divergence between pipeline variants, not adversaries.
+
+/// 64-bit FNV-1a of `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// [`fnv1a_64`] rendered as the `fnv1a64:<16 hex digits>` form the
+/// golden files commit.
+pub fn fnv1a_64_hex(bytes: &[u8]) -> String {
+    format!("fnv1a64:{:016x}", fnv1a_64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_form_is_stable() {
+        assert_eq!(fnv1a_64_hex(b""), "fnv1a64:cbf29ce484222325");
+        assert_eq!(fnv1a_64_hex(b"foobar"), "fnv1a64:85944171f73967e8");
+    }
+
+    #[test]
+    fn digest_separates_close_inputs() {
+        assert_ne!(fnv1a_64(b"report"), fnv1a_64(b"reporT"));
+    }
+}

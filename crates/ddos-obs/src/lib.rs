@@ -1,0 +1,43 @@
+//! `ddos-obs` — the pipeline's observability subsystem.
+//!
+//! The paper's headline numbers (50,704 attacks, 674 botnets, the
+//! Table IV ARIMA errors) stay trustworthy across hot-path rewrites only
+//! if every run carries its own instrumentation. This crate provides the
+//! three layers the analysis pipeline threads through itself:
+//!
+//! * [`metrics`] — a registry of named counters, gauges, and mergeable
+//!   histograms with deterministic power-of-two binning. Recording is a
+//!   relaxed atomic add, safe to call from the scheduler's worker
+//!   threads; snapshots serialize in sorted name order.
+//! * [`span`] — hierarchical wall-clock spans, identified by
+//!   `/`-separated paths (`context/bot_table`, `passes/dispersion`).
+//!   Finished spans are pushed under a mutex — one push per span, never
+//!   per record — so parallel paths stay cheap.
+//! * [`telemetry`] — [`Obs`], the live recorder handed through a run,
+//!   and [`RunTelemetry`], the finished machine-readable artifact
+//!   (`repro --telemetry-json`, `ddoslab analyze --telemetry-json`).
+//!
+//! The cardinal invariant: **recording telemetry never perturbs the
+//! analysis**. The recorder is write-only from the pipeline's point of
+//! view — no pass ever reads it — so a run with telemetry disabled
+//! produces byte-identical report output (the golden-report conformance
+//! suite in `tests/golden_report.rs` enforces this).
+//!
+//! [`digest`] rides along: the stable FNV-1a content digest the
+//! conformance suite pins report bytes with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod metrics;
+pub mod span;
+pub mod telemetry;
+
+pub use digest::fnv1a_64_hex;
+pub use metrics::{
+    Counter, CounterEntry, Gauge, GaugeEntry, Histogram, HistogramBin, HistogramEntry,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use span::SpanRecord;
+pub use telemetry::{Obs, RunTelemetry, SpanGuard, TELEMETRY_SCHEMA_VERSION};

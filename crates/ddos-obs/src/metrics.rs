@@ -1,0 +1,576 @@
+//! The metrics layer: named counters, gauges, and mergeable histograms.
+//!
+//! Live metrics ([`Counter`], [`Gauge`], [`Histogram`]) record through
+//! relaxed atomics — cheap enough for the pipeline's parallel paths —
+//! and are handed out as [`std::sync::Arc`] handles by a
+//! [`MetricsRegistry`], so every thread that asks for a name shares one
+//! instance. A finished run snapshots the registry into the plain
+//! [`MetricsSnapshot`] value types, which serialize in sorted name order
+//! and merge with associative, commutative semantics:
+//!
+//! * counters **add**,
+//! * gauges take the **maximum**,
+//! * histograms add **bin-wise** (same deterministic binning on both
+//!   sides, so bins align by construction).
+//!
+//! Histogram binning is deterministic power-of-two bucketing: value `0`
+//! lands in its own bucket, value `v > 0` in bucket
+//! `64 - v.leading_zeros()` (covering `[2^(k-1), 2^k)`). Two runs that
+//! record the same values always produce the same bins, which is what
+//! makes committed telemetry snapshots meaningful.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing count. Relaxed atomic add.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written point-in-time value (workers racing `set` keep one of
+/// the written values; use [`Gauge::record_max`] for a deterministic
+/// high-water mark).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index of a value: `0` for zero, else `64 - leading_zeros`
+/// (bucket `k ≥ 1` covers `[2^(k-1), 2^k)`).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Lower bound of a bucket.
+fn bucket_lo(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// Upper (inclusive) bound of a bucket.
+fn bucket_hi(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// Number of buckets (`0` plus one per bit position).
+const NUM_BUCKETS: usize = 65;
+
+/// A histogram over `u64` values with deterministic power-of-two
+/// binning. Recording is three relaxed atomic adds plus two atomic
+/// min/max updates — safe and cheap from worker threads.
+#[derive(Debug)]
+pub struct Histogram {
+    bins: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            bins: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.bins[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the live histogram into a plain snapshot (only non-empty
+    /// bins are kept, in ascending bucket order).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let bins = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter_map(|(k, bin)| {
+                let n = bin.load(Ordering::Relaxed);
+                (n > 0).then(|| HistogramBin {
+                    lo: bucket_lo(k),
+                    hi: bucket_hi(k),
+                    count: n,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            bins,
+        }
+    }
+}
+
+/// One non-empty histogram bucket: `count` values fell in `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBin {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Values recorded in the bucket.
+    pub count: u64,
+}
+
+/// A frozen histogram. Merge is bin-wise addition — associative and
+/// commutative, with the empty snapshot as identity (the property tests
+/// in `tests/merge_props.rs` pin this down).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping is the caller's concern).
+    pub sum: u64,
+    /// Smallest recorded value (`0` when empty).
+    pub min: u64,
+    /// Largest recorded value (`0` when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by `lo`.
+    pub bins: Vec<HistogramBin>,
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one (bin-wise add; min/max and
+    /// count/sum fold accordingly).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged: Vec<HistogramBin> = Vec::with_capacity(self.bins.len() + other.bins.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.bins.len() || j < other.bins.len() {
+            match (self.bins.get(i), other.bins.get(j)) {
+                (Some(a), Some(b)) if a.lo == b.lo => {
+                    merged.push(HistogramBin {
+                        lo: a.lo,
+                        hi: a.hi,
+                        count: a.count + b.count,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a.lo < b.lo => {
+                    merged.push(*a);
+                    i += 1;
+                }
+                (Some(_), Some(b)) => {
+                    merged.push(*b);
+                    j += 1;
+                }
+                (Some(a), None) => {
+                    merged.push(*a);
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    merged.push(*b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.bins = merged;
+    }
+
+    /// Mean of the recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// One named counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Metric name.
+    pub name: String,
+    /// Final count.
+    pub value: u64,
+}
+
+/// One named gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Metric name.
+    pub name: String,
+    /// Final value.
+    pub value: u64,
+}
+
+/// One named histogram in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Metric name.
+    pub name: String,
+    /// The frozen histogram.
+    pub histogram: HistogramSnapshot,
+}
+
+/// All of a run's metrics, frozen, each kind sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, ascending by name.
+    pub counters: Vec<CounterEntry>,
+    /// Gauges, ascending by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// Histograms, ascending by name.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+/// Merges two sorted-by-name entry lists with `combine` on name hits.
+fn merge_entries<T: Clone>(
+    a: &mut Vec<T>,
+    b: &[T],
+    name: impl Fn(&T) -> &str,
+    combine: impl Fn(&mut T, &T),
+) {
+    let mut merged: Vec<T> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get_mut(i), b.get(j)) {
+            (Some(x), Some(y)) if name(x) == name(y) => {
+                let mut x = x.clone();
+                combine(&mut x, y);
+                merged.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(x), Some(y)) if name(x) < name(y) => {
+                merged.push(x.clone());
+                i += 1;
+            }
+            (Some(_), Some(y)) => {
+                merged.push(y.clone());
+                j += 1;
+            }
+            (Some(x), None) => {
+                merged.push(x.clone());
+                i += 1;
+            }
+            (None, Some(y)) => {
+                merged.push(y.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    *a = merged;
+}
+
+impl MetricsSnapshot {
+    /// Merges another snapshot into this one by metric name: counters
+    /// add, gauges take the maximum, histograms merge bin-wise. All
+    /// three rules are associative and commutative, so merging shards of
+    /// a distributed run is order-free.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        merge_entries(
+            &mut self.counters,
+            &other.counters,
+            |e| &e.name,
+            |x, y| x.value += y.value,
+        );
+        merge_entries(
+            &mut self.gauges,
+            &other.gauges,
+            |e| &e.name,
+            |x, y| x.value = x.value.max(y.value),
+        );
+        merge_entries(
+            &mut self.histograms,
+            &other.histograms,
+            |e| &e.name,
+            |x, y| x.histogram.merge(&y.histogram),
+        );
+    }
+
+    /// Looks up a counter's value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value)
+    }
+
+    /// Looks up a gauge's value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|e| e.name == name).map(|e| e.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.histogram)
+    }
+
+    /// Whether no metric was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// The live registry: hands out shared handles by name, freezes into a
+/// [`MetricsSnapshot`]. Handle lookup takes a mutex — do it once per
+/// name outside hot loops and record through the returned [`Arc`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// The shared counter registered under `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// The shared gauge registered under `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .expect("metrics registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// The shared histogram registered under `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Freezes every registered metric, sorted by name (the `BTreeMap`
+    /// iteration order).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(&name, c)| CounterEntry {
+                    name: name.to_string(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(&name, g)| GaugeEntry {
+                    name: name.to_string(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(&name, h)| HistogramEntry {
+                    name: name.to_string(),
+                    histogram: h.snapshot(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let k = bucket_of(v);
+            assert!(
+                bucket_lo(k) <= v && v <= bucket_hi(k),
+                "value {v} bucket {k}"
+            );
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_snapshot_carries_stats_and_bins() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 5, 5, 900] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 911);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 900);
+        // 0 → bucket 0; 1 → bucket 1; 5,5 → bucket [4,7]; 900 → [512,1023].
+        assert_eq!(s.bins.len(), 4);
+        assert_eq!(
+            s.bins[2],
+            HistogramBin {
+                lo: 4,
+                hi: 7,
+                count: 2
+            }
+        );
+        assert!(s.bins.windows(2).all(|w| w[0].lo < w[1].lo));
+        assert_eq!(s.mean(), Some(911.0 / 5.0));
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_identity() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        let h = Histogram::default();
+        h.record(7);
+        let mut a = h.snapshot();
+        let b = a.clone();
+        a.merge(&s);
+        assert_eq!(a, b);
+        let mut e = HistogramSnapshot::default();
+        e.merge(&b);
+        assert_eq!(e, b);
+    }
+
+    #[test]
+    fn registry_shares_handles_and_snapshots_sorted() {
+        let reg = MetricsRegistry::default();
+        reg.counter("b/second").add(2);
+        reg.counter("a/first").inc();
+        reg.counter("b/second").add(3);
+        reg.gauge("g").set(7);
+        reg.gauge("g").record_max(5);
+        reg.histogram("h").record(10);
+        let s = reg.snapshot();
+        assert_eq!(s.counters.len(), 2);
+        assert_eq!(s.counters[0].name, "a/first");
+        assert_eq!(s.counter("b/second"), Some(5));
+        assert_eq!(s.gauge("g"), Some(7), "record_max must not lower a gauge");
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+        assert!(!s.is_empty());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn counters_add_across_threads() {
+        let reg = MetricsRegistry::default();
+        let c = reg.counter("x");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("x"), Some(4000));
+    }
+}

@@ -1,0 +1,103 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span is a named interval of a run, identified by a `/`-separated
+//! path: `context/bot_table` is a child of `context`, which is a child
+//! of the root span `run`. Hierarchy lives in the path itself — there is
+//! no registration step and no tree structure to keep in sync across
+//! threads; nesting is recovered from the paths when rendering.
+//!
+//! All times are microsecond offsets from the run's start, so a span set
+//! is self-contained and serializable without wall-clock anchors.
+
+use serde::{Deserialize, Serialize};
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// `/`-separated hierarchical name (`passes/dispersion`).
+    pub path: String,
+    /// Start, microseconds since the run began.
+    pub start_us: u64,
+    /// End, microseconds since the run began.
+    pub end_us: u64,
+}
+
+impl SpanRecord {
+    /// The span's duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Nesting depth: number of `/` separators in the path.
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+
+    /// Whether `other` is a strict path descendant of this span
+    /// (`context` contains `context/bot_table`).
+    pub fn contains_path(&self, other: &SpanRecord) -> bool {
+        other.path.len() > self.path.len()
+            && other.path.starts_with(&self.path)
+            && other.path.as_bytes()[self.path.len()] == b'/'
+    }
+
+    /// The last path component.
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// Orders spans deterministically for serialization: by start time,
+/// then longest-first (so parents precede the children they enclose),
+/// then by path.
+pub(crate) fn sort_spans(spans: &mut [SpanRecord]) {
+    spans.sort_by(|a, b| {
+        a.start_us
+            .cmp(&b.start_us)
+            .then(b.end_us.cmp(&a.end_us))
+            .then(a.path.cmp(&b.path))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, start_us: u64, end_us: u64) -> SpanRecord {
+        SpanRecord {
+            path: path.to_string(),
+            start_us,
+            end_us,
+        }
+    }
+
+    #[test]
+    fn duration_depth_and_name() {
+        let s = span("context/bot_table", 10, 35);
+        assert_eq!(s.duration_us(), 25);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.name(), "bot_table");
+        assert_eq!(span("run", 0, 1).depth(), 0);
+        assert_eq!(span("run", 0, 1).name(), "run");
+    }
+
+    #[test]
+    fn path_containment_requires_separator() {
+        let parent = span("context", 0, 100);
+        assert!(parent.contains_path(&span("context/bot_table", 1, 2)));
+        assert!(!parent.contains_path(&span("context", 1, 2)), "not strict");
+        assert!(
+            !parent.contains_path(&span("contexts", 1, 2)),
+            "prefix only"
+        );
+        assert!(!parent.contains_path(&span("passes/daily", 1, 2)));
+    }
+
+    #[test]
+    fn sort_puts_parents_before_children() {
+        let mut spans = vec![span("run/b", 5, 9), span("run", 0, 10), span("run/a", 0, 4)];
+        sort_spans(&mut spans);
+        let paths: Vec<&str> = spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["run", "run/a", "run/b"]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Satellite: metric merge is a commutative monoid.
+//!
+//! Sharded telemetry (parallel workers, future distributed runs) is only
+//! sound if merging snapshots is order-free: associative, commutative,
+//! with the empty snapshot as identity. These property tests pin that
+//! down for histograms and for whole metrics snapshots, and check that
+//! a merged histogram equals the histogram of the concatenated samples
+//! (merge loses nothing binning kept).
+
+use ddos_obs::{CounterEntry, GaugeEntry, Histogram, HistogramSnapshot, MetricsSnapshot};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+fn snapshot_of(
+    counters: &[(u8, u64)],
+    gauges: &[(u8, u64)],
+    hists: &[(u8, Vec<u64>)],
+) -> MetricsSnapshot {
+    // Names drawn from a tiny alphabet so merges frequently collide.
+    let name = |k: u8| format!("m{}", k % 4);
+    let mut s = MetricsSnapshot::default();
+    for &(k, v) in counters {
+        let n = name(k);
+        match s.counters.iter_mut().find(|e| e.name == n) {
+            Some(e) => e.value += v,
+            None => s.counters.push(CounterEntry { name: n, value: v }),
+        }
+    }
+    s.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    for &(k, v) in gauges {
+        let n = name(k);
+        match s.gauges.iter_mut().find(|e| e.name == n) {
+            Some(e) => e.value = e.value.max(v),
+            None => s.gauges.push(GaugeEntry { name: n, value: v }),
+        }
+    }
+    s.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+    for (k, values) in hists {
+        let n = name(*k);
+        let h = hist_of(values);
+        match s.histograms.iter_mut().find(|e| e.name == n) {
+            Some(e) => e.histogram.merge(&h),
+            None => s.histograms.push(ddos_obs::HistogramEntry {
+                name: n,
+                histogram: h,
+            }),
+        }
+    }
+    s.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    s
+}
+
+fn snap_merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in proptest::collection::vec(any::<u64>(), 0..48),
+        ys in proptest::collection::vec(any::<u64>(), 0..48),
+        zs in proptest::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenated_recording(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let both: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        prop_assert_eq!(merged(&hist_of(&xs), &hist_of(&ys)), hist_of(&both));
+    }
+
+    #[test]
+    fn histogram_empty_is_identity(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let a = hist_of(&xs);
+        let e = HistogramSnapshot::default();
+        prop_assert_eq!(merged(&a, &e), a.clone());
+        prop_assert_eq!(merged(&e, &a), a);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative_and_associative(
+        ca in proptest::collection::vec((any::<u8>(), 0u64..1 << 40), 0..8),
+        cb in proptest::collection::vec((any::<u8>(), 0u64..1 << 40), 0..8),
+        cc in proptest::collection::vec((any::<u8>(), 0u64..1 << 40), 0..8),
+        ga in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        gb in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        ha in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u64>(), 0..12)), 0..4),
+        hb in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u64>(), 0..12)), 0..4),
+    ) {
+        let a = snapshot_of(&ca, &ga, &ha);
+        let b = snapshot_of(&cb, &gb, &hb);
+        let c = snapshot_of(&cc, &[], &[]);
+        prop_assert_eq!(snap_merged(&a, &b), snap_merged(&b, &a));
+        prop_assert_eq!(
+            snap_merged(&snap_merged(&a, &b), &c),
+            snap_merged(&a, &snap_merged(&b, &c))
+        );
+        let e = MetricsSnapshot::default();
+        prop_assert_eq!(snap_merged(&a, &e), a.clone());
+        prop_assert_eq!(snap_merged(&e, &a), a);
+    }
+}

@@ -1,0 +1,132 @@
+//! Satellite: the telemetry JSON shape is pinned by snapshot.
+//!
+//! Downstream tooling (the CI artifact, perf-comparison scripts) parses
+//! this JSON; a field rename or reshuffle is a breaking change and must
+//! come with a `TELEMETRY_SCHEMA_VERSION` bump. The snapshot below is
+//! the canonical serialization of a hand-built `RunTelemetry` — if this
+//! test fails, either revert the shape change or bump the version and
+//! update the snapshot *and* the consumers.
+
+use ddos_obs::{
+    CounterEntry, GaugeEntry, HistogramBin, HistogramEntry, HistogramSnapshot, MetricsSnapshot,
+    Obs, RunTelemetry, SpanRecord, TELEMETRY_SCHEMA_VERSION,
+};
+
+fn sample() -> RunTelemetry {
+    RunTelemetry {
+        schema_version: TELEMETRY_SCHEMA_VERSION,
+        parallel: true,
+        threads: 4,
+        total_us: 1500,
+        spans: vec![
+            SpanRecord {
+                path: "run".into(),
+                start_us: 0,
+                end_us: 1500,
+            },
+            SpanRecord {
+                path: "run/context".into(),
+                start_us: 10,
+                end_us: 600,
+            },
+        ],
+        metrics: MetricsSnapshot {
+            counters: vec![CounterEntry {
+                name: "geo/dispersion_snapshots".into(),
+                value: 42,
+            }],
+            gauges: vec![GaugeEntry {
+                name: "context/attacks".into(),
+                value: 7,
+            }],
+            histograms: vec![HistogramEntry {
+                name: "scheduler/wait_us".into(),
+                histogram: HistogramSnapshot {
+                    count: 2,
+                    sum: 9,
+                    min: 3,
+                    max: 6,
+                    bins: vec![
+                        HistogramBin {
+                            lo: 2,
+                            hi: 3,
+                            count: 1,
+                        },
+                        HistogramBin {
+                            lo: 4,
+                            hi: 7,
+                            count: 1,
+                        },
+                    ],
+                },
+            }],
+        },
+    }
+}
+
+/// The committed canonical JSON for [`sample`]. Field order follows
+/// declaration order in the Rust types; any diff here is a schema
+/// change.
+const GOLDEN: &str = concat!(
+    r#"{"schema_version":1,"parallel":true,"threads":4,"total_us":1500,"#,
+    r#""spans":[{"path":"run","start_us":0,"end_us":1500},"#,
+    r#"{"path":"run/context","start_us":10,"end_us":600}],"#,
+    r#""metrics":{"counters":[{"name":"geo/dispersion_snapshots","value":42}],"#,
+    r#""gauges":[{"name":"context/attacks","value":7}],"#,
+    r#""histograms":[{"name":"scheduler/wait_us","histogram":"#,
+    r#"{"count":2,"sum":9,"min":3,"max":6,"#,
+    r#""bins":[{"lo":2,"hi":3,"count":1},{"lo":4,"hi":7,"count":1}]}}]}}"#
+);
+
+#[test]
+fn telemetry_json_shape_is_stable() {
+    let json = serde_json::to_string(&sample()).expect("telemetry serializes");
+    assert_eq!(
+        json, GOLDEN,
+        "telemetry JSON shape changed — bump TELEMETRY_SCHEMA_VERSION and update consumers"
+    );
+}
+
+#[test]
+fn telemetry_json_round_trips() {
+    let t = sample();
+    let json = serde_json::to_string(&t).unwrap();
+    let back: RunTelemetry = serde_json::from_str(&json).expect("telemetry deserializes");
+    assert_eq!(back, t);
+}
+
+#[test]
+fn recorded_telemetry_matches_the_pinned_key_set() {
+    // A *real* recording (not a hand-built value) must serialize with
+    // exactly the pinned top-level keys, in order.
+    let obs = Obs::enabled();
+    {
+        let _g = obs.span("run");
+    }
+    obs.counter("c").inc();
+    obs.gauge("g").set(1);
+    obs.histogram("h").record(2);
+    let json = serde_json::to_string(&obs.finish(false)).unwrap();
+    for key in [
+        "\"schema_version\":",
+        "\"parallel\":",
+        "\"threads\":",
+        "\"total_us\":",
+        "\"spans\":",
+        "\"metrics\":",
+        "\"counters\":",
+        "\"gauges\":",
+        "\"histograms\":",
+        "\"path\":",
+        "\"start_us\":",
+        "\"end_us\":",
+    ] {
+        assert!(json.contains(key), "telemetry JSON lost key {key}: {json}");
+    }
+    let version_first =
+        json.starts_with(&format!("{{\"schema_version\":{TELEMETRY_SCHEMA_VERSION}"));
+    assert!(
+        version_first,
+        "schema_version must lead the document: {json}"
+    );
+}

@@ -4,7 +4,8 @@
 //! ddoslab generate --scale 1.0 --seed 0xDD05EED --out trace.ddtl
 //! ddoslab analyze trace.ddtl            # full report to stdout
 //! ddoslab analyze trace.ddtl --json     # AnalysisReport as JSON
-//! ddoslab analyze trace.ddtl --timings  # also print per-pass timings
+//! ddoslab analyze trace.ddtl --timings  # also print the span breakdown
+//! ddoslab analyze trace.ddtl --telemetry-json t.json  # write RunTelemetry
 //! ddoslab export-csv trace.ddtl out.csv # attack records as CSV
 //! ddoslab import-csv raw.csv out.ddtl   # CSV (optionally unmerged) -> trace
 //! ddoslab info trace.ddtl               # summary only
@@ -44,7 +45,7 @@ fn print_help() {
         "ddoslab — botnet DDoS trace workbench\n\n\
          USAGE:\n\
          \x20 ddoslab generate [--scale F] [--seed N] [--no-snapshots] --out FILE\n\
-         \x20 ddoslab analyze FILE [--json] [--timings]\n\
+         \x20 ddoslab analyze FILE [--json] [--timings] [--telemetry-json FILE]\n\
          \x20 ddoslab export-csv FILE OUT.csv\n\
          \x20 ddoslab import-csv IN.csv OUT.ddtl [--merge-gap SECONDS]\n\
          \x20 ddoslab info FILE\n\n\
@@ -108,10 +109,26 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("analyze requires a trace file")?;
     let json = args.iter().any(|a| a == "--json");
     let timings = args.iter().any(|a| a == "--timings");
+    let telemetry_out = args
+        .iter()
+        .position(|a| a == "--telemetry-json")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .ok_or("--telemetry-json takes a file")
+        })
+        .transpose()?;
     let ds = load(path)?;
     let report = AnalysisReport::run(&ds);
     if timings {
-        eprintln!("{}", report.timings.render());
+        eprintln!("{}", report.telemetry.render());
+    }
+    if let Some(out) = &telemetry_out {
+        let body = serde_json::to_string_pretty(&report.telemetry)
+            .map_err(|e| format!("serializing telemetry: {e}"))?;
+        std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
     }
     if json {
         let body = serde_json::to_string_pretty(&report)

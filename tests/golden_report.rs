@@ -1,0 +1,162 @@
+//! Golden-report conformance suite.
+//!
+//! `tests/golden/report_small.digest` pins the FNV-1a 64 digest of the
+//! canonical small-trace report (`SimConfig::small`, the same trace the
+//! rest of the integration suite analyzes). One table-driven test runs
+//! the pipeline every way it can be run — parallel, serial, telemetry
+//! off, the pass scheduler over a columnar or reference-built context,
+//! and the pre-refactor monolithic baseline — and asserts each variant's
+//! serialized report matches the committed digest byte for byte.
+//!
+//! If a change *intends* to alter report output, regenerate the file:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin repro -- --report-digest \
+//!     > tests/golden/report_small.digest
+//! ```
+//!
+//! The property tests below extend the guarantee off the golden trace:
+//! on arbitrary sim configurations, recording telemetry never perturbs
+//! report bytes.
+
+use std::sync::OnceLock;
+
+use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
+use ddos_obs::fnv1a_64_hex;
+use ddos_sim::{generate, GeneratedTrace, SimConfig};
+use ddos_stats::ArimaSpec;
+use proptest::prelude::*;
+
+fn trace() -> &'static GeneratedTrace {
+    static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| generate(&SimConfig::small()))
+}
+
+fn digest(report: &AnalysisReport) -> String {
+    let json = serde_json::to_string(report).expect("report serializes");
+    fnv1a_64_hex(json.as_bytes())
+}
+
+fn golden_digest() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/report_small.digest"
+    );
+    std::fs::read_to_string(path)
+        .expect("reading tests/golden/report_small.digest")
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn every_pipeline_variant_matches_the_golden_digest() {
+    let ds = &trace().dataset;
+    let serial_opts = PipelineOptions {
+        parallel: false,
+        ..PipelineOptions::default()
+    };
+    let quiet_opts = PipelineOptions {
+        telemetry: false,
+        ..PipelineOptions::default()
+    };
+    let variants: Vec<(&str, AnalysisReport)> = vec![
+        (
+            "parallel",
+            AnalysisReport::run_opts(ds, PipelineOptions::default()),
+        ),
+        ("serial", AnalysisReport::run_opts(ds, serial_opts)),
+        (
+            "parallel, telemetry off",
+            AnalysisReport::run_opts(ds, quiet_opts),
+        ),
+        (
+            "monolithic baseline",
+            AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT),
+        ),
+        (
+            "scheduler over columnar serial context",
+            AnalysisReport::run_on(
+                &AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, false),
+                true,
+            ),
+        ),
+        (
+            "scheduler over reference-built context",
+            AnalysisReport::run_on(
+                &AnalysisContext::build_reference(ds, ArimaSpec::DEFAULT),
+                false,
+            ),
+        ),
+    ];
+    let want = golden_digest();
+    for (name, report) in &variants {
+        assert_eq!(
+            digest(report),
+            want,
+            "pipeline variant `{name}` diverged from the golden report \
+             digest; if the report change is intentional, regenerate with \
+             `repro --report-digest`"
+        );
+    }
+}
+
+#[test]
+fn golden_digest_file_is_well_formed() {
+    let d = golden_digest();
+    assert!(
+        d.starts_with("fnv1a64:") && d.len() == "fnv1a64:".len() + 16,
+        "digest file malformed: {d:?}"
+    );
+}
+
+proptest! {
+    // Trace generation dominates the cost; a handful of configurations
+    // across seeds, scales, and injection toggles is plenty to catch a
+    // telemetry path that leaks into report bytes.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn telemetry_never_perturbs_report_bytes(
+        seed in 0u64..(1u64 << 48),
+        scale in 0.002f64..0.01,
+        spike in any::<bool>(),
+        collaborations in any::<bool>(),
+        chains in any::<bool>(),
+    ) {
+        let cfg = SimConfig {
+            seed,
+            scale,
+            snapshots: false,
+            spike,
+            collaborations,
+            chains,
+            ..SimConfig::small()
+        };
+        let trace = generate(&cfg);
+        let ds = &trace.dataset;
+        let on = AnalysisReport::run_opts(ds, PipelineOptions::default());
+        let off = AnalysisReport::run_opts(
+            ds,
+            PipelineOptions {
+                telemetry: false,
+                ..PipelineOptions::default()
+            },
+        );
+        let off_serial = AnalysisReport::run_opts(
+            ds,
+            PipelineOptions {
+                telemetry: false,
+                parallel: false,
+                ..PipelineOptions::default()
+            },
+        );
+        let json = |r: &AnalysisReport| serde_json::to_string(r).expect("report serializes");
+        prop_assert_eq!(json(&on), json(&off));
+        prop_assert_eq!(json(&on), json(&off_serial));
+        // The artifact itself differs exactly as documented: recording
+        // runs populate it, quiet runs leave it empty.
+        prop_assert!(!on.telemetry.spans.is_empty());
+        prop_assert!(off.telemetry.is_empty());
+        prop_assert!(off_serial.telemetry.is_empty());
+    }
+}
