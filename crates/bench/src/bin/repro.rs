@@ -11,12 +11,19 @@
 //! repro --ctx-bench     # time columnar context build vs PR 2 path,
 //!                       # emit BENCH_context.json
 //! repro --ctx-bench --smoke  # small trace, equivalence assertions only
+//! repro --epoch-bench   # time monolithic vs epoch-folded vs incremental,
+//!                       # emit BENCH_epochs.json
+//! repro --epoch-bench --smoke  # same on the small trace (CI mode)
 //! repro --telemetry-json FILE  # write the run's span/metric telemetry
 //! repro --report-digest # print the golden-trace report digest
 //! ```
 
-use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
+use ddos_analytics::{
+    AnalysisContext, AnalysisReport, IncrementalPipeline, PipelineOptions, StreamFold,
+};
+use ddos_obs::Obs;
 use ddos_report::{compare, paper_comparisons, render, EXPERIMENTS};
+use ddos_schema::Seconds;
 use ddos_sim::{generate, SimConfig};
 use ddos_stats::ArimaSpec;
 
@@ -26,6 +33,7 @@ fn main() {
     let mut emit_md = false;
     let mut pipeline_bench = false;
     let mut ctx_bench = false;
+    let mut epoch_bench = false;
     let mut smoke = false;
     let mut report_digest = false;
     let mut out_dir: Option<String> = None;
@@ -46,6 +54,7 @@ fn main() {
             "--md" => emit_md = true,
             "--pipeline-bench" => pipeline_bench = true,
             "--ctx-bench" => ctx_bench = true,
+            "--epoch-bench" => epoch_bench = true,
             "--smoke" => smoke = true,
             "--report-digest" => report_digest = true,
             "--list" => {
@@ -60,6 +69,10 @@ fn main() {
 
     if ctx_bench {
         run_ctx_bench(scale, smoke);
+        return;
+    }
+    if epoch_bench {
+        run_epoch_bench(scale, smoke);
         return;
     }
     if pipeline_bench {
@@ -322,6 +335,161 @@ fn run_ctx_bench(scale: f64, smoke: bool) {
     );
     std::fs::write("BENCH_context.json", &json).expect("writing BENCH_context.json");
     eprintln!("wrote BENCH_context.json");
+}
+
+/// Times the epoch-sharded engine against the monolithic rebuild —
+/// batch fold, incremental total, and the marginal cost of appending
+/// one more epoch to an already-folded prefix — asserts every variant
+/// serializes byte-identically, and writes `BENCH_epochs.json` (in
+/// smoke mode too, flagged `"smoke": true`, so CI uploads a real
+/// artifact).
+///
+/// The headline ratio is `append_one_epoch_s / monolithic_s`: what one
+/// more week of trace costs with the epoch engine versus re-running the
+/// pre-refactor monolithic pipeline from scratch.
+fn run_epoch_bench(scale: f64, smoke: bool) {
+    let cfg = if smoke {
+        SimConfig::small()
+    } else {
+        SimConfig {
+            scale,
+            ..SimConfig::default()
+        }
+    };
+    let epoch_len = Seconds::WEEK;
+    eprintln!("generating trace (scale {})...", cfg.scale);
+    let trace = generate(&cfg);
+    let ds = &trace.dataset;
+    let epochs = ds.shards(epoch_len).len();
+    eprintln!(
+        "generated {} attacks, {} bot records, {} weekly epochs",
+        ds.len(),
+        ds.bots().len(),
+        epochs
+    );
+    let opts = PipelineOptions {
+        telemetry: false,
+        ..PipelineOptions::default()
+    };
+
+    // Correctness first: every epoch-engine entry point must serialize
+    // byte-identically to the batch pipeline.
+    let json = |r: &AnalysisReport| serde_json::to_string(r).expect("report serializes");
+    let want = json(&AnalysisReport::run_opts(ds, opts));
+    assert_eq!(
+        json(&AnalysisReport::run_epochs(ds, opts, epoch_len)),
+        want,
+        "epoch-folded report diverged from batch"
+    );
+    assert_eq!(
+        json(&AnalysisReport::run_incremental(ds, opts, epoch_len)),
+        want,
+        "incremental report diverged from batch"
+    );
+    eprintln!("report equivalence: batch == epoch-folded == incremental");
+
+    // Peak residency of the bounded-memory streaming fold, versus the
+    // raw row count a monolithic build holds resident.
+    let obs = Obs::enabled();
+    let mut fold = StreamFold::new(ds.window());
+    for batch in ddos_sim::feed::replay_epochs(ds, epoch_len) {
+        fold.push(&batch, &obs);
+    }
+    let peak_rows = fold.peak_resident_rows();
+    let monolithic_rows = (ds.len() + ds.bots().len()) as u64;
+    assert_eq!(
+        json(&AnalysisReport::run_on(
+            &fold
+                .finish()
+                .expect("trace has at least one epoch")
+                .into_context(ds, ArimaSpec::DEFAULT),
+            true,
+        )),
+        want,
+        "streamed report diverged from batch"
+    );
+    eprintln!("report equivalence: batch == streamed fold");
+
+    // Warm-up, then interleaved best-of-N rounds: systematic drift hits
+    // every variant alike instead of whichever ran last.
+    let _ = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
+    let rounds = if smoke { 1 } else { 3 };
+    let mut monolithic_s = f64::MAX;
+    let mut folded_s = f64::MAX;
+    let mut incremental_s = f64::MAX;
+    let mut append_one_s = f64::MAX;
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        let r = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
+        monolithic_s = monolithic_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(r));
+
+        let t = std::time::Instant::now();
+        let r = AnalysisReport::run_epochs(ds, opts, epoch_len);
+        folded_s = folded_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(r));
+
+        let t = std::time::Instant::now();
+        let r = AnalysisReport::run_incremental(ds, opts, epoch_len);
+        incremental_s = incremental_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(r));
+
+        // The marginal epoch: fold everything but the last epoch
+        // untimed, then time appending the final one (context build,
+        // merge, and the dirty-pass re-run included).
+        let mut inc = IncrementalPipeline::new(ds, opts, epoch_len);
+        while inc.appended() + 1 < inc.epochs() {
+            inc.append_epoch();
+        }
+        let t = std::time::Instant::now();
+        inc.append_epoch();
+        append_one_s = append_one_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(inc));
+    }
+
+    println!("epoch engine (weekly epochs, best of {rounds}):");
+    println!("  monolithic rebuild:        {monolithic_s:>8.3} s");
+    println!("  epoch-folded batch:        {folded_s:>8.3} s");
+    println!("  incremental (all epochs):  {incremental_s:>8.3} s");
+    println!("  append one epoch:          {append_one_s:>8.3} s");
+    println!(
+        "  append/monolithic ratio:   {:>8.3}  (want < 0.25)",
+        append_one_s / monolithic_s
+    );
+    println!("  peak resident rows:        {peak_rows:>8}  (monolithic holds {monolithic_rows})");
+    if !smoke {
+        assert!(
+            append_one_s < monolithic_s / 4.0,
+            "appending one epoch ({append_one_s:.3} s) is not under a quarter \
+             of the monolithic rebuild ({monolithic_s:.3} s)"
+        );
+    }
+
+    let out = format!(
+        "{{\n  \"smoke\": {},\n  \"trace\": {{\n    \"scale\": {},\n    \
+         \"attacks\": {},\n    \"bot_records\": {},\n    \"epochs\": {}\n  }},\n  \
+         \"epoch_len_s\": {},\n  \"rounds\": {},\n  \
+         \"monolithic_s\": {:.6},\n  \"epoch_folded_s\": {:.6},\n  \
+         \"incremental_total_s\": {:.6},\n  \"append_one_epoch_s\": {:.6},\n  \
+         \"append_vs_monolithic\": {:.4},\n  \
+         \"peak_resident_rows\": {},\n  \"monolithic_resident_rows\": {}\n}}\n",
+        smoke,
+        cfg.scale,
+        ds.len(),
+        ds.bots().len(),
+        epochs,
+        epoch_len.get(),
+        rounds,
+        monolithic_s,
+        folded_s,
+        incremental_s,
+        append_one_s,
+        append_one_s / monolithic_s,
+        peak_rows,
+        monolithic_rows,
+    );
+    std::fs::write("BENCH_epochs.json", &out).expect("writing BENCH_epochs.json");
+    eprintln!("wrote BENCH_epochs.json");
 }
 
 /// Prints the FNV-1a 64 digest of the golden trace's full report — the

@@ -25,7 +25,7 @@
 use std::ops::Range;
 
 use ddos_geo::PointTrig;
-use ddos_schema::{CountryCode, Dataset, IpAddr4, LatLon};
+use ddos_schema::{AttackRecord, BotRecord, CountryCode, Dataset, IpAddr4, LatLon};
 
 /// Sentinel "row" for source IPs absent from the `Botlist`.
 pub const NO_BOT: u32 = u32::MAX;
@@ -140,6 +140,11 @@ pub struct BotTable {
     countries: Vec<CountryCode>,
     coords: Vec<LatLon>,
     trig: Vec<PointTrig>,
+    /// Global position (`Dataset::bots` row) of each surviving record —
+    /// the arbiter for last-wins when epoch shards merge: the winner of
+    /// a duplicate IP across two shards is the record with the greater
+    /// original position, exactly the record the monolithic build keeps.
+    positions: Vec<u32>,
     buckets: IpBuckets,
 }
 
@@ -148,16 +153,26 @@ impl BotTable {
     /// collapse duplicates last-wins, precompute each survivor's
     /// trigonometry exactly once.
     pub fn build(ds: &Dataset) -> BotTable {
-        let bots = ds.bots();
-        // (ip, original position) packed into one u64 so the sort never
+        Self::from_records(ds.bots().iter().enumerate().map(|(i, b)| (i as u32, b)))
+    }
+
+    /// Builds the table from `(global position, record)` pairs with
+    /// ascending positions — the epoch-shard build path. Equivalent to
+    /// [`BotTable::build`] when handed the whole roster.
+    pub(crate) fn from_records<'r>(
+        records: impl IntoIterator<Item = (u32, &'r BotRecord)>,
+    ) -> BotTable {
+        let records: Vec<(u32, &BotRecord)> = records.into_iter().collect();
+        debug_assert!(records.windows(2).all(|w| w[0].0 < w[1].0));
+        // (ip, local sequence) packed into one u64 so the sort never
         // touches the records themselves. A stable LSD radix sort over
         // the IP half (two 16-bit digits) keeps the *last* record of an
         // IP's run last — the positions arrive ascending and stability
         // preserves that — matching the hash map overwrite semantics.
-        let mut order: Vec<u64> = bots
+        let mut order: Vec<u64> = records
             .iter()
             .enumerate()
-            .map(|(i, b)| (u64::from(b.ip.value()) << 32) | i as u64)
+            .map(|(seq, (_, b))| (u64::from(b.ip.value()) << 32) | seq as u64)
             .collect();
         radix_sort_by_ip(&mut order);
 
@@ -165,6 +180,7 @@ impl BotTable {
         let mut countries = Vec::with_capacity(order.len());
         let mut coords = Vec::with_capacity(order.len());
         let mut trig = Vec::with_capacity(order.len());
+        let mut positions = Vec::with_capacity(order.len());
         let mut run = 0;
         while run < order.len() {
             let ip = IpAddr4((order[run] >> 32) as u32);
@@ -172,11 +188,12 @@ impl BotTable {
             while last + 1 < order.len() && (order[last + 1] >> 32) as u32 == ip.value() {
                 last += 1;
             }
-            let bot = &bots[order[last] as u32 as usize];
+            let (pos, bot) = records[order[last] as u32 as usize];
             ips.push(ip);
             countries.push(bot.location.country);
             coords.push(bot.location.coords);
             trig.push(PointTrig::new(bot.location.coords));
+            positions.push(pos);
             run = last + 1;
         }
         let buckets = IpBuckets::build(&ips);
@@ -185,6 +202,7 @@ impl BotTable {
             countries,
             coords,
             trig,
+            positions,
             buckets,
         }
     }
@@ -254,6 +272,99 @@ impl BotTable {
     }
 }
 
+/// How one side's rows map into a merged [`BotTable`]: `rows[old]` is
+/// the merged row, `changed[old]` flags rows whose country or
+/// coordinates differ in the merged table (the side's record lost a
+/// duplicate-IP arbitration), so derived per-attack aggregates must be
+/// recomputed.
+#[derive(Debug, Clone)]
+pub(crate) struct BotRemap {
+    pub(crate) rows: Vec<u32>,
+    pub(crate) changed: Vec<bool>,
+}
+
+/// Merges two bot tables by a single two-pointer pass over their sorted
+/// IP columns. A duplicate IP keeps the record with the greater global
+/// position — the record the monolithic last-wins build keeps — and the
+/// winner's cached trig bits are copied verbatim ([`PointTrig::new`] is
+/// deterministic, so either side's cache holds identical bits for
+/// identical coordinates).
+pub(crate) fn merge_bot_tables(a: &BotTable, b: &BotTable) -> (BotTable, BotRemap, BotRemap) {
+    let cap = a.len() + b.len();
+    let mut ips = Vec::with_capacity(cap);
+    let mut countries = Vec::with_capacity(cap);
+    let mut coords = Vec::with_capacity(cap);
+    let mut trig = Vec::with_capacity(cap);
+    let mut positions = Vec::with_capacity(cap);
+    let mut ra = BotRemap {
+        rows: vec![0; a.len()],
+        changed: vec![false; a.len()],
+    };
+    let mut rb = BotRemap {
+        rows: vec![0; b.len()],
+        changed: vec![false; b.len()],
+    };
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let next = ips.len() as u32;
+        let from_a = j >= b.len() || (i < a.len() && a.ips[i] <= b.ips[j]);
+        let dup = i < a.len() && j < b.len() && a.ips[i] == b.ips[j];
+        if dup {
+            // Same record observed from both shards has equal positions
+            // and identical attributes; a genuine duplicate pair is
+            // arbitrated by position, and the loser's side only needs a
+            // recompute when the attributes actually differ.
+            let differ = a.countries[i] != b.countries[j]
+                || a.coords[i].lat.to_bits() != b.coords[j].lat.to_bits()
+                || a.coords[i].lon.to_bits() != b.coords[j].lon.to_bits();
+            let (src, k) = if a.positions[i] >= b.positions[j] {
+                rb.changed[j] = differ;
+                (a, i)
+            } else {
+                ra.changed[i] = differ;
+                (b, j)
+            };
+            ips.push(src.ips[k]);
+            countries.push(src.countries[k]);
+            coords.push(src.coords[k]);
+            trig.push(src.trig[k]);
+            positions.push(src.positions[k]);
+            ra.rows[i] = next;
+            rb.rows[j] = next;
+            i += 1;
+            j += 1;
+        } else {
+            let (src, k) = if from_a {
+                ra.rows[i] = next;
+                i += 1;
+                (a, i - 1)
+            } else {
+                rb.rows[j] = next;
+                j += 1;
+                (b, j - 1)
+            };
+            ips.push(src.ips[k]);
+            countries.push(src.countries[k]);
+            coords.push(src.coords[k]);
+            trig.push(src.trig[k]);
+            positions.push(src.positions[k]);
+        }
+    }
+    let buckets = IpBuckets::build(&ips);
+    (
+        BotTable {
+            ips,
+            countries,
+            coords,
+            trig,
+            positions,
+            buckets,
+        },
+        ra,
+        rb,
+    )
+}
+
 /// The trace-wide attack→source join in CSR form.
 ///
 /// Every distinct source IP (resolvable through the `Botlist` or not)
@@ -282,8 +393,17 @@ impl SourceTable {
     /// the CSR id fill run chunked on scoped threads over disjoint
     /// output slices; the result is identical either way.
     pub fn build(ds: &Dataset, bots: &BotTable, parallel: bool) -> SourceTable {
-        let attacks = ds.attacks();
+        Self::build_slice(ds.attacks(), bots, parallel)
+    }
 
+    /// [`SourceTable::build`] over an attack slice — the epoch-shard
+    /// build path, joining one epoch's attacks against that epoch's
+    /// bot table.
+    pub(crate) fn build_slice(
+        attacks: &[AttackRecord],
+        bots: &BotTable,
+        parallel: bool,
+    ) -> SourceTable {
         let mut offsets = Vec::with_capacity(attacks.len() + 1);
         let mut total: u64 = 0;
         offsets.push(0u32);
@@ -450,6 +570,112 @@ impl SourceTable {
     pub fn unresolved_total(&self) -> u64 {
         self.unresolved.iter().map(|&n| u64::from(n)).sum()
     }
+}
+
+/// Merges two source tables built against the two sides of a
+/// [`merge_bot_tables`] call, producing the table [`SourceTable::build_slice`]
+/// would build for the concatenated attack slice against `merged_bots`.
+///
+/// The merged extras dictionary is the sorted distinct union of both
+/// sides' extras minus those now resolvable in `merged_bots` (an IP
+/// unresolvable on one side may resolve against a bot the other side
+/// contributed — a *promotion*). Returns the merged table plus the
+/// ascending merged-local indices of *affected* attacks: attacks
+/// containing a bot row whose attributes changed in the merge or an
+/// extra that got promoted. Their derived per-attack aggregates
+/// (dispersion snapshot, weekly country pairs) must be recomputed
+/// against the merged table.
+pub(crate) fn merge_source_tables(
+    a: &SourceTable,
+    b: &SourceTable,
+    merged_bots: &BotTable,
+    ra: &BotRemap,
+    rb: &BotRemap,
+) -> (SourceTable, Vec<u32>) {
+    let merged_len = merged_bots.len() as u32;
+    let ea = &a.dict[a.bots_len as usize..];
+    let eb = &b.dict[b.bots_len as usize..];
+    // Sorted-union sweep over the two extras runs: each candidate either
+    // resolves in the merged bots (promotion — its new id is the bot
+    // row) or joins the kept extras after the merged bot id range.
+    let mut kept: Vec<IpAddr4> = Vec::with_capacity(ea.len() + eb.len());
+    let mut map_a = vec![0u32; ea.len()];
+    let mut map_b = vec![0u32; eb.len()];
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ea.len() || j < eb.len() {
+        let take_a = j >= eb.len() || (i < ea.len() && ea[i] <= eb[j]);
+        let ip = if take_a { ea[i] } else { eb[j] };
+        let new_id = match merged_bots.resolve(ip) {
+            Some(row) => row,
+            None => {
+                kept.push(ip);
+                merged_len + (kept.len() - 1) as u32
+            }
+        };
+        if i < ea.len() && ea[i] == ip {
+            map_a[i] = new_id;
+            i += 1;
+        }
+        if j < eb.len() && eb[j] == ip {
+            map_b[j] = new_id;
+            j += 1;
+        }
+    }
+    assert!(
+        merged_bots.len() + kept.len() < NO_BOT as usize,
+        "trace exceeds u32 dictionary ids"
+    );
+
+    // Rewrite both id columns through the remaps, recount unresolved,
+    // and flag affected attacks in one pass per side.
+    let na = a.unresolved.len();
+    let mut ids = Vec::with_capacity(a.ids.len() + b.ids.len());
+    let mut unresolved = Vec::with_capacity(na + b.unresolved.len());
+    let mut affected = Vec::new();
+    let mut rewrite = |side: &SourceTable, remap: &BotRemap, map: &[u32], base: usize| {
+        for k in 0..side.unresolved.len() {
+            let slice = &side.ids[side.offsets[k] as usize..side.offsets[k + 1] as usize];
+            let mut hit = false;
+            let mut un = 0u32;
+            for &old in slice {
+                let new = if old < side.bots_len {
+                    hit |= remap.changed[old as usize];
+                    remap.rows[old as usize]
+                } else {
+                    let new = map[(old - side.bots_len) as usize];
+                    // A promoted extra now resolves to a bot row.
+                    hit |= new < merged_len;
+                    new
+                };
+                un += u32::from(new >= merged_len);
+                ids.push(new);
+            }
+            unresolved.push(un);
+            if hit {
+                affected.push((base + k) as u32);
+            }
+        }
+    };
+    rewrite(a, ra, &map_a, 0);
+    rewrite(b, rb, &map_b, na);
+
+    let shift = a.ids.len() as u32;
+    let mut offsets = a.offsets.clone();
+    offsets.extend(b.offsets[1..].iter().map(|&o| o + shift));
+
+    let mut dict = Vec::with_capacity(merged_bots.len() + kept.len());
+    dict.extend_from_slice(merged_bots.ips());
+    dict.extend_from_slice(&kept);
+    (
+        SourceTable {
+            dict,
+            bots_len: merged_len,
+            offsets,
+            ids,
+            unresolved,
+        },
+        affected,
+    )
 }
 
 #[cfg(test)]
@@ -695,6 +921,69 @@ mod tests {
             prop_assert_eq!(&serial.ids, &threaded.ids);
             prop_assert_eq!(serial.bots_len, threaded.bots_len);
             prop_assert_eq!(&serial.dict, &threaded.dict);
+        }
+
+        /// Shard-merged tables are bit-equal to tables built
+        /// monolithically: duplicate bot IPs across shards arbitrate by
+        /// global position (last-wins), and extras promote against bots
+        /// the other shard contributed.
+        #[test]
+        fn merged_tables_match_monolithic(
+            roster in proptest::collection::vec(
+                (0u8..24, prop::sample::select(vec!["US", "RU", "DE"]),
+                 -89.0f64..89.0, -179.0f64..179.0, 1u8..=3),
+                0..48,
+            ),
+            source_lists in proptest::collection::vec(
+                proptest::collection::vec(0u8..40, 1..10), 0..12,
+            ),
+            split in 0usize..13,
+        ) {
+            let bots: Vec<BotRecord> = roster
+                .iter()
+                .map(|&(last, cc, lat, lon, _)| bot(last, cc, lat, lon))
+                .collect();
+            let attacks: Vec<AttackRecord> = source_lists
+                .iter()
+                .enumerate()
+                .map(|(i, s)| attack(i as u64 + 1, s.clone()))
+                .collect();
+            let ds = dataset(bots, attacks);
+            let full_bots = BotTable::build(&ds);
+            let full_sources = SourceTable::build(&ds, &full_bots, false);
+
+            // Each record lands on side a, side b, or both (mask bits),
+            // so the sides cover the roster like overlapping shards do.
+            let side = |want: u8| -> BotTable {
+                BotTable::from_records(
+                    ds.bots()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| roster[i].4 & want != 0)
+                        .map(|(i, b)| (i as u32, b)),
+                )
+            };
+            let ta = side(1);
+            let tb = side(2);
+            let split = split.min(ds.len());
+            let sa = SourceTable::build_slice(&ds.attacks()[..split], &ta, false);
+            let sb = SourceTable::build_slice(&ds.attacks()[split..], &tb, false);
+
+            let (merged, ra, rb) = merge_bot_tables(&ta, &tb);
+            prop_assert_eq!(&merged.ips, &full_bots.ips);
+            prop_assert_eq!(&merged.countries, &full_bots.countries);
+            prop_assert_eq!(&merged.coords, &full_bots.coords);
+            prop_assert_eq!(&merged.positions, &full_bots.positions);
+            prop_assert_eq!(&merged.trig, &full_bots.trig);
+
+            let (sources, affected) = merge_source_tables(&sa, &sb, &merged, &ra, &rb);
+            prop_assert_eq!(&sources.dict, &full_sources.dict);
+            prop_assert_eq!(sources.bots_len, full_sources.bots_len);
+            prop_assert_eq!(&sources.offsets, &full_sources.offsets);
+            prop_assert_eq!(&sources.ids, &full_sources.ids);
+            prop_assert_eq!(&sources.unresolved, &full_sources.unresolved);
+            prop_assert!(affected.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(affected.iter().all(|&k| (k as usize) < ds.len()));
         }
     }
 }

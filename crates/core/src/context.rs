@@ -546,6 +546,34 @@ impl<'a> AnalysisContext<'a> {
         }
     }
 
+    /// Assembles a context from precomputed parts — the exit point of
+    /// the epoch fold ([`crate::epoch::EpochContext`]). Callers are
+    /// responsible for upholding the module invariants; the epoch
+    /// equivalence suite pins the fold's output bit-equal to
+    /// [`AnalysisContext::build`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        dataset: &'a Dataset,
+        spec: ArimaSpec,
+        bot_table: BotTable,
+        sources: SourceTable,
+        durations: Vec<f64>,
+        all_starts: Vec<Timestamp>,
+        target_timelines: Vec<TargetTimeline>,
+        families: Vec<FamilyContext>,
+    ) -> AnalysisContext<'a> {
+        AnalysisContext {
+            dataset,
+            spec,
+            bot_table,
+            sources,
+            durations,
+            all_starts,
+            target_timelines,
+            families,
+        }
+    }
+
     /// The per-family slots, in [`Family::ACTIVE`] order.
     pub fn families(&self) -> &[FamilyContext] {
         &self.families

@@ -1,0 +1,564 @@
+//! The epoch-sharded analysis engine: mergeable per-epoch contexts.
+//!
+//! [`EpochContext`] is one epoch's share of an [`AnalysisContext`]: the
+//! epoch's bot and source tables, per-attack vectors, per-target
+//! timelines (with stable *global* attack indices), and per-family
+//! aggregates (dispersion snapshots and weekly bot maps). Epochs build
+//! independently — from a borrowed [`DatasetShard`] or an owned
+//! [`EpochBatch`] a feed streams in — and [`EpochContext::merge`] folds
+//! two adjacent epochs into one.
+//!
+//! # Merge laws
+//!
+//! The fold reproduces [`AnalysisContext::build`] **bit-identically**,
+//! for any partition of the trace into epochs, because:
+//!
+//! * Attacks are globally sorted by `(start, id)` and epochs are
+//!   assigned by start time, so each shard's attacks are a contiguous
+//!   global index range and per-attack vectors simply concatenate.
+//! * Duplicate bot IPs across epochs arbitrate by global record
+//!   position (see [`crate::columnar::merge_bot_tables`]) — the winner
+//!   is exactly the record the monolithic last-wins build keeps, and
+//!   its cached trig bits are copied verbatim.
+//! * A merged source table is a pure function of the merged bot table
+//!   ([`crate::columnar::merge_source_tables`]); sources that resolve
+//!   only against the other epoch's bots are *promoted* in the merge.
+//! * Every attack touched by an arbitration or promotion is re-resolved
+//!   against the merged tables, restoring the invariant that each
+//!   context's aggregates equal a fresh build against its own tables —
+//!   which is also why the merge is associative.
+//!
+//! The `tests/epochs.rs` property suite proves equivalence and
+//! associativity over arbitrary partitions (empty epochs and
+//! boundary-straddling attacks included), and the golden-report suite
+//! pins the folded pipeline to the batch digest.
+
+use std::collections::HashSet;
+
+use ddos_geo::{dispersion_precomp_indexed_counted, KernelCounters};
+use ddos_obs::Obs;
+use ddos_schema::{
+    AttackRecord, BotRecord, CountryCode, Dataset, DatasetShard, EpochBatch, Family, Timestamp,
+    Window,
+};
+use ddos_stats::ArimaSpec;
+
+use crate::columnar::{
+    merge_bot_tables, merge_source_tables, radix_sort_by_ip, BotTable, SourceTable, NO_BOT,
+};
+use crate::context::{AnalysisContext, FamilyContext, TargetTimeline};
+use crate::source::dispersion::FamilyDispersion;
+use crate::util::IpMap;
+
+/// Sentinel slot for attacks of families outside [`Family::ACTIVE`].
+const NO_SLOT: u8 = u8::MAX;
+
+/// One active family's share of an epoch.
+#[derive(Debug, Clone)]
+struct EpochSlot {
+    /// Global indices of the family's attacks in this epoch, ascending.
+    indices: Vec<u32>,
+    /// Dispersion snapshot per attack, aligned to `indices` (`None`
+    /// when the kernel found no center), so merge fix-ups can replace
+    /// one attack's value in place.
+    snaps: Vec<Option<f64>>,
+    /// Per *global* window week: the resolvable `(bot, country)`
+    /// participants of the family's attacks that week.
+    weekly: Vec<IpMap<CountryCode>>,
+}
+
+/// What a merge appended or re-resolved — drives the incremental
+/// pipeline's pass dirtiness.
+#[derive(Debug, Clone)]
+pub struct MergeDelta {
+    /// Attacks contributed by the right epoch.
+    pub appended_attacks: usize,
+    /// Bot rows the right epoch added to the merged table.
+    pub appended_bots: usize,
+    /// Merged-local indices of attacks re-resolved against the merged
+    /// tables (duplicate-IP arbitration or extra promotion), ascending.
+    pub reresolved: Vec<u32>,
+}
+
+/// One epoch's mergeable share of the analysis context.
+#[derive(Debug, Clone)]
+pub struct EpochContext {
+    /// The *global* trace window (week/day bucketing is always global).
+    window: Window,
+    /// The time span this context covers.
+    span: Window,
+    /// Global index of the first covered attack.
+    attack_base: usize,
+    /// Family slot of each covered attack ([`NO_SLOT`] for inactive
+    /// families), local order.
+    family_slot: Vec<u8>,
+    /// Duration of each covered attack, local order.
+    durations: Vec<f64>,
+    /// Start of each covered attack, local order.
+    starts: Vec<Timestamp>,
+    /// Per-target timelines over the covered attacks, sorted by target,
+    /// carrying global indices.
+    timelines: Vec<TargetTimeline>,
+    bots: BotTable,
+    sources: SourceTable,
+    /// One slot per [`Family::ACTIVE`] entry.
+    slots: Vec<EpochSlot>,
+}
+
+/// Dispersion snapshot of one covered attack against the given tables —
+/// the exact kernel call of the monolithic context build.
+fn snap_of(
+    sources: &SourceTable,
+    bots: &BotTable,
+    local: usize,
+    scratch: &mut Vec<u32>,
+    kernel: &KernelCounters,
+) -> Option<f64> {
+    let ids = sources.ids_of(local);
+    let row_list: &[u32] = if sources.unresolved_in(local) == 0 {
+        ids
+    } else {
+        scratch.clear();
+        scratch.extend(
+            ids.iter()
+                .copied()
+                .filter(|&id| sources.bot_row(id) != NO_BOT),
+        );
+        scratch
+    };
+    dispersion_precomp_indexed_counted(bots.trigs(), row_list, kernel).map(|d| d.value())
+}
+
+impl EpochContext {
+    /// Builds one epoch's context from a borrowed shard.
+    pub fn build(shard: &DatasetShard<'_>, obs: &Obs) -> EpochContext {
+        Self::build_from(
+            shard.dataset().window(),
+            shard.span(),
+            shard.attack_range().start,
+            shard.attacks(),
+            shard.bots(),
+            obs,
+        )
+    }
+
+    /// Builds one epoch's context from an owned batch (the streaming
+    /// path; `window` is the global trace window).
+    pub fn build_batch(window: Window, batch: &EpochBatch, obs: &Obs) -> EpochContext {
+        Self::build_from(
+            window,
+            batch.span,
+            batch.attack_base,
+            &batch.attacks,
+            batch.bots.iter().map(|(r, b)| (*r, b)),
+            obs,
+        )
+    }
+
+    fn build_from<'r>(
+        window: Window,
+        span: Window,
+        attack_base: usize,
+        attacks: &[AttackRecord],
+        bot_records: impl IntoIterator<Item = (u32, &'r BotRecord)>,
+        obs: &Obs,
+    ) -> EpochContext {
+        let _span = obs.span("epoch/build");
+        let bots = BotTable::from_records(bot_records);
+        let sources = SourceTable::build_slice(attacks, &bots, false);
+
+        let mut durations = Vec::with_capacity(attacks.len());
+        let mut starts = Vec::with_capacity(attacks.len());
+        let mut family_slot = Vec::with_capacity(attacks.len());
+        for a in attacks {
+            durations.push(a.duration().as_f64());
+            starts.push(a.start);
+            family_slot.push(if a.family.is_active() {
+                a.family.index() as u8
+            } else {
+                NO_SLOT
+            });
+        }
+
+        // Per-target timelines, same radix construction as the
+        // monolithic build, shifted to global indices.
+        let mut keyed: Vec<u64> = attacks
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (u64::from(a.target_ip.value()) << 32) | i as u64)
+            .collect();
+        radix_sort_by_ip(&mut keyed);
+        let mut timelines: Vec<TargetTimeline> = Vec::new();
+        let mut run = 0;
+        while run < keyed.len() {
+            let target = (keyed[run] >> 32) as u32;
+            let mut end = run;
+            while end < keyed.len() && (keyed[end] >> 32) as u32 == target {
+                end += 1;
+            }
+            timelines.push(TargetTimeline {
+                target: ddos_schema::IpAddr4(target),
+                attacks: keyed[run..end]
+                    .iter()
+                    .map(|&k| attack_base + k as u32 as usize)
+                    .collect(),
+            });
+            run = end;
+        }
+
+        // Per-family aggregates: snapshot per attack plus weekly
+        // (bot, country) maps, bucketed against the *global* window.
+        let num_weeks = window.num_weeks();
+        let kernel = KernelCounters::default();
+        let mut slots: Vec<EpochSlot> = (0..Family::ACTIVE.len())
+            .map(|_| EpochSlot {
+                indices: Vec::new(),
+                snaps: Vec::new(),
+                weekly: vec![IpMap::default(); num_weeks],
+            })
+            .collect();
+        let mut scratch: Vec<u32> = Vec::new();
+        for (local, a) in attacks.iter().enumerate() {
+            let slot_id = family_slot[local];
+            if slot_id == NO_SLOT {
+                continue;
+            }
+            let slot = &mut slots[slot_id as usize];
+            slot.indices.push((attack_base + local) as u32);
+            slot.snaps
+                .push(snap_of(&sources, &bots, local, &mut scratch, &kernel));
+            if let Some(w) = window.week_index(a.start) {
+                for (k, &id) in sources.ids_of(local).iter().enumerate() {
+                    let row = sources.bot_row(id);
+                    if row != NO_BOT {
+                        slot.weekly[w].insert(a.sources[k], bots.country(row));
+                    }
+                }
+            }
+        }
+        obs.counter("geo/dispersion_snapshots")
+            .add(kernel.snapshots());
+        obs.counter("geo/dispersion_points").add(kernel.points());
+        obs.counter("geo/dispersion_degenerate")
+            .add(kernel.degenerate());
+
+        EpochContext {
+            window,
+            span,
+            attack_base,
+            family_slot,
+            durations,
+            starts,
+            timelines,
+            bots,
+            sources,
+            slots,
+        }
+    }
+
+    /// Global index of the first covered attack.
+    #[inline]
+    pub fn attack_base(&self) -> usize {
+        self.attack_base
+    }
+
+    /// Number of covered attacks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether the context covers no attacks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Bot rows resident in this context's table.
+    #[inline]
+    pub fn bot_rows(&self) -> usize {
+        self.bots.len()
+    }
+
+    /// The time span covered.
+    #[inline]
+    pub fn span(&self) -> Window {
+        self.span
+    }
+
+    /// Merges two adjacent epoch contexts (`self` immediately precedes
+    /// `other` in both time and attack index space).
+    ///
+    /// # Panics
+    ///
+    /// If the contexts disagree on the global window or are not
+    /// adjacent.
+    pub fn merge(self, other: EpochContext) -> (EpochContext, MergeDelta) {
+        let (a, b) = (self, other);
+        assert_eq!(a.window, b.window, "epochs from different traces");
+        assert_eq!(
+            a.span.end, b.span.start,
+            "epochs must be time-adjacent (left before right)"
+        );
+        assert_eq!(
+            a.attack_base + a.len(),
+            b.attack_base,
+            "epochs must cover adjacent attack ranges"
+        );
+
+        let appended_attacks = b.len();
+        let (bots, ra, rb) = merge_bot_tables(&a.bots, &b.bots);
+        let appended_bots = bots.len() - a.bots.len();
+        let (sources, affected) = merge_source_tables(&a.sources, &b.sources, &bots, &ra, &rb);
+
+        let mut family_slot = a.family_slot;
+        family_slot.extend(b.family_slot);
+        let mut durations = a.durations;
+        durations.extend(b.durations);
+        let mut starts = a.starts;
+        starts.extend(b.starts);
+
+        // Timeline splice: both sides are sorted by target and a's
+        // global indices all precede b's, so equal targets concatenate.
+        let mut timelines = Vec::with_capacity(a.timelines.len() + b.timelines.len());
+        let mut ta = a.timelines.into_iter().peekable();
+        let mut tb = b.timelines.into_iter().peekable();
+        loop {
+            match (ta.peek(), tb.peek()) {
+                (Some(x), Some(y)) if x.target == y.target => {
+                    let mut t = ta.next().unwrap();
+                    t.attacks.extend(tb.next().unwrap().attacks);
+                    timelines.push(t);
+                }
+                (Some(x), Some(y)) => {
+                    timelines.push(if x.target < y.target {
+                        ta.next().unwrap()
+                    } else {
+                        tb.next().unwrap()
+                    });
+                }
+                (Some(_), None) => timelines.push(ta.next().unwrap()),
+                (None, Some(_)) => timelines.push(tb.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+
+        // Per-slot concat: indices stay globally ascending, weekly maps
+        // union per week (right side overwrites on collision; every
+        // collision that matters is re-resolved below).
+        let mut slots = a.slots;
+        for (slot, rhs) in slots.iter_mut().zip(b.slots) {
+            slot.indices.extend(rhs.indices);
+            slot.snaps.extend(rhs.snaps);
+            for (w, map) in rhs.weekly.into_iter().enumerate() {
+                if slot.weekly[w].is_empty() {
+                    slot.weekly[w] = map;
+                } else {
+                    slot.weekly[w].extend(map);
+                }
+            }
+        }
+
+        // Fix-ups: every attack whose bot attributes changed in the
+        // arbitration or whose extras got promoted is re-resolved
+        // against the merged tables, restoring the invariant that the
+        // aggregates equal a fresh build — the merge's associativity
+        // hinges on exactly this.
+        let window = a.window;
+        let attack_base = a.attack_base;
+        let kernel = KernelCounters::default();
+        let mut scratch: Vec<u32> = Vec::new();
+        for &local in &affected {
+            let local = local as usize;
+            let slot_id = family_slot[local];
+            if slot_id == NO_SLOT {
+                continue;
+            }
+            let slot = &mut slots[slot_id as usize];
+            let global = (attack_base + local) as u32;
+            let pos = slot
+                .indices
+                .binary_search(&global)
+                .expect("affected attack indexed in its family slot");
+            slot.snaps[pos] = snap_of(&sources, &bots, local, &mut scratch, &kernel);
+            if let Some(w) = window.week_index(starts[local]) {
+                for &id in sources.ids_of(local) {
+                    let row = sources.bot_row(id);
+                    if row != NO_BOT {
+                        slot.weekly[w].insert(sources.ip_of(id), bots.country(row));
+                    }
+                }
+            }
+        }
+
+        (
+            EpochContext {
+                window,
+                span: Window {
+                    start: a.span.start,
+                    end: b.span.end,
+                },
+                attack_base,
+                family_slot,
+                durations,
+                starts,
+                timelines,
+                bots,
+                sources,
+                slots,
+            },
+            MergeDelta {
+                appended_attacks,
+                appended_bots,
+                reresolved: affected,
+            },
+        )
+    }
+
+    /// The per-family contexts this fold has accumulated, in
+    /// [`Family::ACTIVE`] order.
+    fn to_families(&self, window: Window) -> Vec<FamilyContext> {
+        self.slots
+            .iter()
+            .zip(Family::ACTIVE)
+            .map(|(slot, family)| {
+                let mut series = Vec::new();
+                let mut days = HashSet::new();
+                let starts: Vec<Timestamp> = slot
+                    .indices
+                    .iter()
+                    .map(|&g| self.starts[g as usize - self.attack_base])
+                    .collect();
+                for (&t, snap) in starts.iter().zip(&slot.snaps) {
+                    if let Some(v) = *snap {
+                        if let Some(day) = window.day_index(t) {
+                            days.insert(day);
+                        }
+                        series.push((t, v));
+                    }
+                }
+                FamilyContext {
+                    family,
+                    starts,
+                    dispersion: FamilyDispersion {
+                        family,
+                        series,
+                        active_days: days.len(),
+                    },
+                    weekly_bots: slot.weekly.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Converts a *complete* fold (all epochs merged) into the analysis
+    /// context, consuming the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// If the fold does not cover `dataset` exactly.
+    pub fn into_context(self, dataset: &Dataset, spec: ArimaSpec) -> AnalysisContext<'_> {
+        assert_eq!(self.attack_base, 0, "fold must start at the first epoch");
+        assert_eq!(self.len(), dataset.len(), "fold must cover every attack");
+        assert_eq!(self.window, dataset.window(), "fold from another trace");
+        let families = self.to_families(self.window);
+        AnalysisContext::from_parts(
+            dataset,
+            spec,
+            self.bots,
+            self.sources,
+            self.durations,
+            self.starts,
+            self.timelines,
+            families,
+        )
+    }
+
+    /// Clones a (possibly partial, but prefix-anchored) fold into an
+    /// analysis context so passes can run mid-stream. The context's
+    /// vectors cover the folded prefix; `ctx.dataset` remains the full
+    /// trace, so mid-stream pass outputs that read the dataset directly
+    /// see ahead — the incremental pipeline documents this and the
+    /// *final* report is exact.
+    pub fn to_context<'a>(&self, dataset: &'a Dataset, spec: ArimaSpec) -> AnalysisContext<'a> {
+        assert_eq!(self.attack_base, 0, "fold must start at the first epoch");
+        let families = self.to_families(self.window);
+        AnalysisContext::from_parts(
+            dataset,
+            spec,
+            self.bots.clone(),
+            self.sources.clone(),
+            self.durations.clone(),
+            self.starts.clone(),
+            self.timelines.clone(),
+            families,
+        )
+    }
+}
+
+/// Bounded-memory streaming fold over a feed of [`EpochBatch`]es.
+///
+/// Batches arrive one at a time (e.g. from
+/// `ddos_sim::feed::replay_epochs`), build into an [`EpochContext`]
+/// each, and merge into the accumulator immediately — the raw records
+/// of past epochs are never resident together. The
+/// `epoch/resident_rows` gauge tracks the peak raw rows (attacks + bot
+/// records) materialized at once.
+#[derive(Debug)]
+pub struct StreamFold {
+    window: Window,
+    acc: Option<EpochContext>,
+    next_base: usize,
+    peak_rows: u64,
+}
+
+impl StreamFold {
+    /// Starts an empty fold over a trace window.
+    pub fn new(window: Window) -> StreamFold {
+        StreamFold {
+            window,
+            acc: None,
+            next_base: 0,
+            peak_rows: 0,
+        }
+    }
+
+    /// Builds and folds in one epoch batch. Batches must arrive in
+    /// epoch order.
+    pub fn push(&mut self, batch: &EpochBatch, obs: &Obs) {
+        assert_eq!(
+            batch.attack_base, self.next_base,
+            "batches must arrive in epoch order"
+        );
+        self.next_base += batch.attacks.len();
+        let incoming = (batch.attacks.len() + batch.bots.len()) as u64;
+        let resident = incoming
+            + self
+                .acc
+                .as_ref()
+                .map_or(0, |acc| (acc.len() + acc.bot_rows()) as u64);
+        obs.gauge("epoch/resident_rows").record_max(resident);
+        self.peak_rows = self.peak_rows.max(resident);
+        let ctx = EpochContext::build_batch(self.window, batch, obs);
+        self.acc = Some(match self.acc.take() {
+            None => ctx,
+            Some(acc) => {
+                let span = obs.span("epoch/merge");
+                let (merged, _) = acc.merge(ctx);
+                drop(span);
+                merged
+            }
+        });
+    }
+
+    /// Peak raw rows (attacks + bot records) resident at once.
+    pub fn peak_resident_rows(&self) -> u64 {
+        self.peak_rows
+    }
+
+    /// Finishes the fold, returning the accumulated context (`None` if
+    /// no batch was pushed).
+    pub fn finish(self) -> Option<EpochContext> {
+        self.acc
+    }
+}

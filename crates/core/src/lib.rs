@@ -34,6 +34,7 @@ pub mod collab;
 pub mod columnar;
 pub mod context;
 pub mod defense;
+pub mod epoch;
 pub mod overview;
 pub mod passes;
 pub mod pipeline;
@@ -45,4 +46,5 @@ pub mod util;
 
 pub use columnar::{BotTable, SourceTable, NO_BOT};
 pub use context::AnalysisContext;
-pub use pipeline::{AnalysisReport, PipelineOptions};
+pub use epoch::{EpochContext, MergeDelta, StreamFold};
+pub use pipeline::{AnalysisReport, AppendStats, IncrementalPipeline, PipelineOptions};

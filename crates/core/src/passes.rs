@@ -50,6 +50,29 @@ use crate::target::recurrence::RecurrenceAnalysis;
 /// 1 h, 4 h, 1 day).
 pub const LATENCY_GRID_S: &[f64] = &[60.0, 600.0, 3_600.0, 4.0 * 3_600.0, 86_400.0];
 
+/// One independently-invalidated part of the [`AnalysisContext`].
+///
+/// Every pass declares which parts it reads ([`PassSpec::reads`]); the
+/// incremental pipeline tracks which parts an epoch append changed and
+/// re-runs only the passes whose inputs moved ([`passes_dirtied_by`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtxPart {
+    /// The attack records themselves (`ctx.dataset.attacks()`,
+    /// `ctx.all_starts`, and everything derived per-attack on the fly).
+    Attacks,
+    /// The bot roster (`ctx.dataset.bots()`, `ctx.bot_table`).
+    Bots,
+    /// The per-attack duration column (`ctx.durations`).
+    Durations,
+    /// The per-target attack timelines (`ctx.target_timelines`).
+    Timelines,
+    /// The per-family contexts: starts, dispersion series, weekly bot
+    /// maps (`ctx.families()`).
+    Families,
+    /// The attack→source join (`ctx.sources`).
+    Sources,
+}
+
 /// The output of one pass — one report section.
 #[derive(Debug, Clone)]
 #[allow(missing_docs)] // variant names mirror the report fields
@@ -136,6 +159,11 @@ pub struct PassSpec {
     pub name: &'static str,
     /// Names of the passes whose output this pass reads.
     pub deps: &'static [&'static str],
+    /// The context parts this pass reads. The incremental pipeline
+    /// re-runs the pass only when one of them changed; an understated
+    /// list here silently serves stale sections, so when in doubt list
+    /// the superset.
+    pub reads: &'static [CtxPart],
     /// The pass body. Must be a pure function of the context and the
     /// declared dependencies' slots in the partial report.
     pub run: fn(&AnalysisContext, &PartialReport) -> PassOutput,
@@ -247,101 +275,121 @@ pub const REGISTRY: &[PassSpec] = &[
     PassSpec {
         name: "protocols",
         deps: &[],
+        reads: &[CtxPart::Attacks],
         run: pass_protocols,
     },
     PassSpec {
         name: "protocol_rows",
         deps: &[],
+        reads: &[CtxPart::Attacks],
         run: pass_protocol_rows,
     },
     PassSpec {
         name: "summary",
         deps: &[],
+        reads: &[CtxPart::Attacks, CtxPart::Bots],
         run: pass_summary,
     },
     PassSpec {
         name: "daily",
         deps: &[],
+        reads: &[CtxPart::Attacks],
         run: pass_daily,
     },
     PassSpec {
         name: "interval_stats",
         deps: &[],
+        reads: &[CtxPart::Families],
         run: pass_interval_stats,
     },
     PassSpec {
         name: "all_interval_stats",
         deps: &[],
+        reads: &[CtxPart::Attacks],
         run: pass_all_interval_stats,
     },
     PassSpec {
         name: "concurrency",
         deps: &[],
+        reads: &[CtxPart::Attacks, CtxPart::Timelines],
         run: pass_concurrency,
     },
     PassSpec {
         name: "durations",
         deps: &[],
+        reads: &[CtxPart::Attacks, CtxPart::Durations],
         run: pass_durations,
     },
     PassSpec {
         name: "shifts",
         deps: &[],
+        reads: &[CtxPart::Families],
         run: pass_shifts,
     },
     PassSpec {
         name: "dispersion",
         deps: &[],
+        reads: &[CtxPart::Families],
         run: pass_dispersion,
     },
     PassSpec {
         name: "prediction",
         deps: &[],
+        reads: &[CtxPart::Families],
         run: pass_prediction,
     },
     PassSpec {
         name: "target_countries",
         deps: &[],
+        reads: &[CtxPart::Attacks],
         run: pass_target_countries,
     },
     PassSpec {
         name: "overall_targets",
         deps: &[],
+        reads: &[CtxPart::Attacks],
         run: pass_overall_targets,
     },
     PassSpec {
         name: "collaborations",
         deps: &[],
+        reads: &[CtxPart::Attacks, CtxPart::Timelines],
         run: pass_collaborations,
     },
     PassSpec {
         name: "flagship_pair",
         deps: &["collaborations"],
+        reads: &[CtxPart::Attacks],
         run: pass_flagship_pair,
     },
     PassSpec {
         name: "multistage",
         deps: &[],
+        reads: &[CtxPart::Attacks, CtxPart::Timelines],
         run: pass_multistage,
     },
     PassSpec {
         name: "activity",
         deps: &[],
+        reads: &[CtxPart::Attacks],
         run: pass_activity,
     },
     PassSpec {
         name: "recurrence",
         deps: &[],
+        reads: &[CtxPart::Attacks, CtxPart::Timelines],
         run: pass_recurrence,
     },
     PassSpec {
         name: "blacklist",
         deps: &[],
+        reads: &[CtxPart::Attacks, CtxPart::Sources, CtxPart::Timelines],
         run: pass_blacklist,
     },
     PassSpec {
         name: "latency",
         deps: &[],
+        reads: &[CtxPart::Durations],
         run: pass_latency,
     },
 ];
@@ -360,6 +408,32 @@ fn run_pass(
     (pass.name, out, start_us, obs.now_us())
 }
 
+/// The set of passes whose inputs a change to `parts` invalidates.
+///
+/// A pass is dirtied directly when one of its [`PassSpec::reads`] parts
+/// changed, and transitively when one of its `deps` is dirtied (its
+/// input *report slots* moved even if its context parts did not). The
+/// closure is computed to a fixpoint, so chains of dependencies any
+/// length re-run together.
+pub fn passes_dirtied_by(parts: &[CtxPart]) -> HashSet<&'static str> {
+    let mut dirty: HashSet<&'static str> = REGISTRY
+        .iter()
+        .filter(|p| p.reads.iter().any(|r| parts.contains(r)))
+        .map(|p| p.name)
+        .collect();
+    loop {
+        let before = dirty.len();
+        for p in REGISTRY {
+            if p.deps.iter().any(|d| dirty.contains(d)) {
+                dirty.insert(p.name);
+            }
+        }
+        if dirty.len() == before {
+            return dirty;
+        }
+    }
+}
+
 /// Runs the whole registry against a context, recording telemetry into
 /// `obs` (hand it [`Obs::disabled`] for an uninstrumented run).
 ///
@@ -371,16 +445,43 @@ fn run_pass(
 /// interleaving. Serial execution is the fallback and runs the exact
 /// same functions in the exact same order.
 pub fn execute(ctx: &AnalysisContext, parallel: bool, obs: &Obs) -> PartialReport {
+    let mut partial = PartialReport::default();
+    let include: HashSet<&'static str> = REGISTRY.iter().map(|p| p.name).collect();
+    execute_filtered(ctx, parallel, obs, &mut partial, &include);
+    partial
+}
+
+/// Runs only the passes named in `include` against a context, updating
+/// `partial` in place and leaving every other slot untouched.
+///
+/// This is [`execute`] restricted to a subset: the incremental pipeline
+/// hands it the dirty set after each epoch append, so clean sections
+/// keep their previous output. A dependency of an included pass counts
+/// as satisfied when it has either run in this call or is *not*
+/// included (its slot still holds the previous — clean — output).
+/// Telemetry shape is unchanged: one `passes/<name>` span per pass run,
+/// one `scheduler/stage<i>` span per stage.
+pub fn execute_filtered(
+    ctx: &AnalysisContext,
+    parallel: bool,
+    obs: &Obs,
+    partial: &mut PartialReport,
+    include: &HashSet<&'static str>,
+) {
     let wait_hist = obs.histogram("scheduler/wait_us");
     let stage_counter = obs.counter("scheduler/stages");
-    let mut partial = PartialReport::default();
     let mut done: HashSet<&'static str> = HashSet::new();
-    let mut remaining: Vec<&'static PassSpec> = REGISTRY.iter().collect();
+    let mut remaining: Vec<&'static PassSpec> = REGISTRY
+        .iter()
+        .filter(|p| include.contains(p.name))
+        .collect();
     let mut stage_idx = 0usize;
     while !remaining.is_empty() {
-        let (stage, rest): (Vec<_>, Vec<_>) = remaining
-            .into_iter()
-            .partition(|p| p.deps.iter().all(|d| done.contains(d)));
+        let (stage, rest): (Vec<_>, Vec<_>) = remaining.into_iter().partition(|p| {
+            p.deps
+                .iter()
+                .all(|d| done.contains(d) || !include.contains(d))
+        });
         assert!(
             !stage.is_empty(),
             "pass registry has a dependency cycle or an unknown dep name"
@@ -389,7 +490,7 @@ pub fn execute(ctx: &AnalysisContext, parallel: bool, obs: &Obs) -> PartialRepor
         let stage_start = obs.now_us();
         let threaded = parallel && stage.len() > 1;
         let results: Vec<(&'static str, PassOutput, u64, u64)> = if threaded {
-            let partial_ref = &partial;
+            let partial_ref: &PartialReport = partial;
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = stage
                     .iter()
@@ -404,7 +505,7 @@ pub fn execute(ctx: &AnalysisContext, parallel: bool, obs: &Obs) -> PartialRepor
         } else {
             stage
                 .iter()
-                .map(|&p| run_pass(p, ctx, &partial, obs))
+                .map(|&p| run_pass(p, ctx, partial, obs))
                 .collect()
         };
         for (name, out, start_us, end_us) in results {
@@ -425,13 +526,61 @@ pub fn execute(ctx: &AnalysisContext, parallel: bool, obs: &Obs) -> PartialRepor
         stage_counter.inc();
         stage_idx += 1;
     }
-    partial
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::overview::test_support::{attack, dataset};
+
+    #[test]
+    fn every_pass_declares_its_reads() {
+        for p in REGISTRY {
+            assert!(!p.reads.is_empty(), "{} declares no context reads", p.name);
+        }
+    }
+
+    #[test]
+    fn dirtiness_propagates_through_pass_deps() {
+        // flagship_pair reads only Attacks, but depends on
+        // collaborations, which reads Timelines: a Timelines-only
+        // change must re-run both.
+        let dirty = passes_dirtied_by(&[CtxPart::Timelines]);
+        assert!(dirty.contains("collaborations"));
+        assert!(dirty.contains("flagship_pair"));
+        assert!(!dirty.contains("protocols"));
+        // A Durations-only change touches exactly the duration readers.
+        let dirty = passes_dirtied_by(&[CtxPart::Durations]);
+        assert_eq!(
+            dirty,
+            HashSet::from(["durations", "latency"]),
+            "unexpected Durations readers"
+        );
+        assert!(passes_dirtied_by(&[]).is_empty());
+    }
+
+    #[test]
+    fn execute_filtered_reruns_only_the_included_passes() {
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 600, 1),
+            attack(Family::Pandora, 2, 120, 700, 1),
+        ]);
+        let ctx = AnalysisContext::new(&ds);
+        let mut partial = execute(&ctx, false, &Obs::disabled());
+        let stale_summary = partial.summary;
+        partial.daily = None; // sentinel: not included, must stay None
+        let obs = Obs::enabled();
+        let include = HashSet::from(["flagship_pair", "protocols"]);
+        execute_filtered(&ctx, false, &obs, &mut partial, &include);
+        let t = obs.finish(false);
+        assert_eq!(t.spans_under("passes").count(), include.len());
+        assert!(t.span("passes/flagship_pair").is_some());
+        assert!(partial.daily.is_none(), "excluded pass ran");
+        assert_eq!(partial.summary, stale_summary, "excluded slot changed");
+        // flagship_pair's collaborations dep was satisfied by the
+        // existing slot, not re-run.
+        assert!(t.span("passes/collaborations").is_none());
+    }
 
     #[test]
     fn registry_names_are_unique_and_deps_resolve() {

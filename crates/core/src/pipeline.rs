@@ -15,21 +15,25 @@
 //! the report field — so its presence (or absence, see
 //! [`PipelineOptions::telemetry`]) never changes report bytes.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use ddos_obs::{Obs, RunTelemetry};
-use ddos_schema::{Dataset, Family};
+use ddos_schema::{Dataset, DatasetShard, Family, Seconds};
 use ddos_stats::ArimaSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::collab::concurrent::{CollabAnalysis, PairFocus};
 use crate::collab::multistage::MultistageAnalysis;
+use crate::columnar::worker_count;
 use crate::context::AnalysisContext;
 use crate::defense::{detection_latency_sweep, BlacklistSim, LatencyPoint};
+use crate::epoch::EpochContext;
 use crate::overview::activity::{activity_levels, FamilyActivity};
 use crate::overview::daily::DailyDistribution;
 use crate::overview::duration::DurationAnalysis;
 use crate::overview::intervals::{self, ConcurrencyAnalysis, IntervalStats};
 use crate::overview::protocols::{protocol_preferences, ProtocolFamilyRow, ProtocolPopularity};
-use crate::passes::{self, PartialReport, LATENCY_GRID_S};
+use crate::passes::{self, CtxPart, PartialReport, LATENCY_GRID_S};
 use crate::source::dispersion::{qualifying_families, FamilyDispersion};
 use crate::source::prediction::PredictionAnalysis;
 use crate::source::shift::ShiftAnalysis;
@@ -164,6 +168,90 @@ impl AnalysisReport {
         assemble(passes::execute(ctx, parallel, &Obs::disabled()))
     }
 
+    /// Runs the pipeline through the epoch-sharded engine: the trace is
+    /// sliced into `epoch_len` shards, each shard builds its own
+    /// [`EpochContext`] (on scoped threads when `parallel`), and the
+    /// contexts fold into one — which the merge laws guarantee is
+    /// bit-identical to the monolithic [`AnalysisContext::build`]. The
+    /// passes then run exactly as in [`AnalysisReport::run_opts`], so
+    /// the serialized report is byte-identical to every other entry
+    /// point (the golden-report suite pins this).
+    pub fn run_epochs(ds: &Dataset, opts: PipelineOptions, epoch_len: Seconds) -> AnalysisReport {
+        let obs = if opts.telemetry {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        let shards = ds.shards(epoch_len);
+        let built: Vec<EpochContext> = if opts.parallel && shards.len() > 1 {
+            // Shard builds are independent: workers drain a shared
+            // index and results re-sort into epoch order, so the fold
+            // below is deterministic regardless of interleaving.
+            let next = AtomicUsize::new(0);
+            let next_ref = &next;
+            let obs_ref = &obs;
+            let shards_ref = &shards;
+            let mut built: Vec<(usize, EpochContext)> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..worker_count().min(shards.len()))
+                    .map(|_| {
+                        scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                                if i >= shards_ref.len() {
+                                    break;
+                                }
+                                out.push((i, EpochContext::build(&shards_ref[i], obs_ref)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("epoch build panicked"))
+                    .collect()
+            })
+            .expect("epoch build scope panicked");
+            built.sort_unstable_by_key(|&(i, _)| i);
+            built.into_iter().map(|(_, c)| c).collect()
+        } else {
+            shards
+                .iter()
+                .map(|s| EpochContext::build(s, &obs))
+                .collect()
+        };
+        let folded = built
+            .into_iter()
+            .reduce(|a, b| {
+                let _span = obs.span("epoch/merge");
+                a.merge(b).0
+            })
+            .expect("a dataset always has at least one shard");
+        let ctx = {
+            let _span = obs.span("context");
+            folded.into_context(ds, opts.spec)
+        };
+        let partial = passes::execute(&ctx, opts.parallel, &obs);
+        let mut report = {
+            let _span = obs.span("assemble");
+            assemble(partial)
+        };
+        report.telemetry = obs.finish(opts.parallel);
+        report
+    }
+
+    /// Runs the pipeline by appending epochs one at a time through an
+    /// [`IncrementalPipeline`] — the convenience wrapper over
+    /// `IncrementalPipeline::new(..).into_report()`.
+    pub fn run_incremental(
+        ds: &Dataset,
+        opts: PipelineOptions,
+        epoch_len: Seconds,
+    ) -> AnalysisReport {
+        IncrementalPipeline::new(ds, opts, epoch_len).into_report()
+    }
+
     /// The pre-refactor monolithic pipeline: every analysis rescans the
     /// dataset for itself (the dispersion join runs twice, the shift
     /// join a third time, four analyses regroup the per-target index).
@@ -204,6 +292,173 @@ impl AnalysisReport {
             latency: detection_latency_sweep(ds, LATENCY_GRID_S),
             telemetry: RunTelemetry::default(),
         }
+    }
+}
+
+/// What one [`IncrementalPipeline::append_epoch`] call did.
+#[derive(Debug, Clone)]
+pub struct AppendStats {
+    /// Zero-based index of the epoch appended.
+    pub epoch: usize,
+    /// Attacks the epoch contributed.
+    pub attacks: usize,
+    /// Names of the passes re-run after this append, in registry
+    /// order. Empty when the epoch changed nothing a pass reads (e.g.
+    /// an epoch with no attacks and no new bots).
+    pub reran: Vec<&'static str>,
+}
+
+/// The incremental pipeline: epochs append one at a time, and after
+/// each append only the passes whose context inputs changed re-run.
+///
+/// Each append builds the epoch's [`EpochContext`], merges it into the
+/// accumulator, maps the [`crate::epoch::MergeDelta`] to dirty
+/// [`CtxPart`]s, and re-executes the dirtied passes
+/// ([`passes::passes_dirtied_by`]) against the folded context; clean
+/// sections keep their slots. After the last epoch the accumulator
+/// covers the whole trace — the merge laws make it bit-identical to the
+/// monolithic build — so [`IncrementalPipeline::into_report`] is
+/// byte-identical to [`AnalysisReport::run_opts`].
+///
+/// Mid-stream caveat: passes read `ctx.dataset` for the raw records, so
+/// between the first and last append a re-run pass sees the *full*
+/// trace's records alongside the folded prefix's context. Intermediate
+/// slots are therefore not exact prefix reports; only the final report
+/// is pinned. Context-derived indices are always in range, so partial
+/// materialization never panics.
+pub struct IncrementalPipeline<'a> {
+    ds: &'a Dataset,
+    opts: PipelineOptions,
+    obs: Obs,
+    shards: Vec<DatasetShard<'a>>,
+    next: usize,
+    acc: Option<EpochContext>,
+    partial: PartialReport,
+}
+
+impl<'a> IncrementalPipeline<'a> {
+    /// Slices `ds` into `epoch_len` epochs and readies the pipeline.
+    /// Nothing is computed until the first [`append_epoch`] call.
+    ///
+    /// [`append_epoch`]: IncrementalPipeline::append_epoch
+    pub fn new(ds: &'a Dataset, opts: PipelineOptions, epoch_len: Seconds) -> Self {
+        let obs = if opts.telemetry {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        IncrementalPipeline {
+            ds,
+            opts,
+            obs,
+            shards: ds.shards(epoch_len),
+            next: 0,
+            acc: None,
+            partial: PartialReport::default(),
+        }
+    }
+
+    /// Total number of epochs in the slicing.
+    pub fn epochs(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Epochs appended so far.
+    pub fn appended(&self) -> usize {
+        self.next
+    }
+
+    /// Whether every epoch has been appended.
+    pub fn is_complete(&self) -> bool {
+        self.next == self.shards.len()
+    }
+
+    /// Appends the next epoch and re-runs the dirtied passes. Returns
+    /// `None` once every epoch has been appended.
+    pub fn append_epoch(&mut self) -> Option<AppendStats> {
+        let epoch = self.next;
+        let shard = self.shards.get(epoch)?;
+        self.next += 1;
+        let built = EpochContext::build(shard, &self.obs);
+        let attacks = built.len();
+        let mut parts: Vec<CtxPart> = Vec::new();
+        let acc = match self.acc.take() {
+            // The first epoch seeds every part: all slots must fill.
+            None => {
+                parts.extend([
+                    CtxPart::Attacks,
+                    CtxPart::Bots,
+                    CtxPart::Durations,
+                    CtxPart::Timelines,
+                    CtxPart::Families,
+                    CtxPart::Sources,
+                ]);
+                built
+            }
+            Some(prev) => {
+                let (merged, delta) = {
+                    let _span = self.obs.span("epoch/merge");
+                    prev.merge(built)
+                };
+                if delta.appended_attacks > 0 {
+                    parts.extend([
+                        CtxPart::Attacks,
+                        CtxPart::Durations,
+                        CtxPart::Timelines,
+                        CtxPart::Families,
+                        CtxPart::Sources,
+                    ]);
+                }
+                if delta.appended_bots > 0 {
+                    parts.push(CtxPart::Bots);
+                }
+                if !delta.reresolved.is_empty() {
+                    // Re-resolution means bot attributes moved under
+                    // resolved ids (arbitration) or extras promoted:
+                    // the join, the family aggregates, and the bot
+                    // roster views all changed.
+                    parts.extend([CtxPart::Bots, CtxPart::Families, CtxPart::Sources]);
+                }
+                merged
+            }
+        };
+        let dirty = passes::passes_dirtied_by(&parts);
+        let reran: Vec<&'static str> = passes::REGISTRY
+            .iter()
+            .map(|p| p.name)
+            .filter(|n| dirty.contains(n))
+            .collect();
+        if !dirty.is_empty() {
+            let ctx = {
+                let _span = self.obs.span("epoch/materialize");
+                acc.to_context(self.ds, self.opts.spec)
+            };
+            passes::execute_filtered(
+                &ctx,
+                self.opts.parallel,
+                &self.obs,
+                &mut self.partial,
+                &dirty,
+            );
+        }
+        self.acc = Some(acc);
+        Some(AppendStats {
+            epoch,
+            attacks,
+            reran,
+        })
+    }
+
+    /// Appends any remaining epochs and assembles the final report —
+    /// byte-identical to the batch pipeline's.
+    pub fn into_report(mut self) -> AnalysisReport {
+        while self.append_epoch().is_some() {}
+        let mut report = {
+            let _span = self.obs.span("assemble");
+            assemble(self.partial)
+        };
+        report.telemetry = self.obs.finish(self.opts.parallel);
+        report
     }
 }
 

@@ -6,6 +6,7 @@
 //! ddoslab analyze trace.ddtl --json     # AnalysisReport as JSON
 //! ddoslab analyze trace.ddtl --timings  # also print the span breakdown
 //! ddoslab analyze trace.ddtl --telemetry-json t.json  # write RunTelemetry
+//! ddoslab analyze trace.ddtl --epochs 8 # epoch-sharded engine, 8 epochs
 //! ddoslab export-csv trace.ddtl out.csv # attack records as CSV
 //! ddoslab import-csv raw.csv out.ddtl   # CSV (optionally unmerged) -> trace
 //! ddoslab info trace.ddtl               # summary only
@@ -13,7 +14,7 @@
 
 use std::process::ExitCode;
 
-use ddos_analytics::AnalysisReport;
+use ddos_analytics::{AnalysisReport, PipelineOptions};
 use ddos_schema::{codec, csv, Dataset, DatasetBuilder, Seconds, Window};
 use ddos_sim::{generate, SimConfig};
 
@@ -46,12 +47,15 @@ fn print_help() {
          USAGE:\n\
          \x20 ddoslab generate [--scale F] [--seed N] [--no-snapshots] --out FILE\n\
          \x20 ddoslab analyze FILE [--json] [--timings] [--telemetry-json FILE]\n\
+         \x20                 [--epochs N]\n\
          \x20 ddoslab export-csv FILE OUT.csv\n\
          \x20 ddoslab import-csv IN.csv OUT.ddtl [--merge-gap SECONDS]\n\
          \x20 ddoslab info FILE\n\n\
          Traces use the binary DDTL format (ddos_schema::codec).\n\
          `import-csv` applies the paper's §II-D record merging (default gap 60 s;\n\
-         pass --merge-gap 0 to disable)."
+         pass --merge-gap 0 to disable).\n\
+         `analyze --epochs N` slices the trace into N epochs and folds\n\
+         per-epoch contexts — byte-identical output, sharded build."
     );
 }
 
@@ -119,8 +123,29 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
                 .ok_or("--telemetry-json takes a file")
         })
         .transpose()?;
+    let epochs: Option<usize> = args
+        .iter()
+        .position(|a| a == "--epochs")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("--epochs takes a count")?
+                .parse::<usize>()
+                .map_err(|e| format!("bad epoch count: {e}"))
+        })
+        .transpose()?
+        .filter(|&n| n > 0);
     let ds = load(path)?;
-    let report = AnalysisReport::run(&ds);
+    let report = match epochs {
+        // Ceiling-divide the window so N epochs tile it exactly.
+        Some(n) => {
+            let len = Seconds((ds.window().length().get() + n as i64 - 1) / n as i64);
+            let len = Seconds(len.get().max(1));
+            eprintln!("epoch engine: {n} epochs of {} s", len.get());
+            AnalysisReport::run_epochs(&ds, PipelineOptions::default(), len)
+        }
+        None => AnalysisReport::run(&ds),
+    };
     if timings {
         eprintln!("{}", report.telemetry.render());
     }

@@ -7,12 +7,14 @@
 //! snapshot series.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::SchemaError;
 use crate::family::Family;
 use crate::geo::CountryCode;
+use crate::hashing::{fast_set, FastSet};
 use crate::ids::{Asn, BotnetId, CityId, OrgId};
 use crate::ip::IpAddr4;
 use crate::record::{AttackRecord, BotRecord, BotnetRecord};
@@ -66,6 +68,12 @@ pub struct Dataset {
     by_family: HashMap<Family, Vec<u32>>,
     by_target: HashMap<IpAddr4, Vec<u32>>,
     by_botnet: HashMap<BotnetId, Vec<u32>>,
+    /// Sorted distinct target IPs, built on first [`Dataset::targets`]
+    /// call and reset whenever the indexes are rebuilt.
+    targets: OnceLock<Vec<IpAddr4>>,
+    /// Table III distinct counts, built on first [`Dataset::summary`]
+    /// call and reset whenever the indexes are rebuilt.
+    summary: OnceLock<DatasetSummary>,
 }
 
 /// Wire representation of [`Dataset`]: the records without the indexes.
@@ -114,6 +122,8 @@ impl<'de> Deserialize<'de> for Dataset {
             by_family: HashMap::new(),
             by_target: HashMap::new(),
             by_botnet: HashMap::new(),
+            targets: OnceLock::new(),
+            summary: OnceLock::new(),
         };
         ds.attacks.sort_by_key(|a| (a.start, a.id));
         ds.rebuild_indexes();
@@ -202,11 +212,15 @@ impl Dataset {
         &self.attacks[lo..hi]
     }
 
-    /// Distinct target IPs, in address order.
-    pub fn targets(&self) -> Vec<IpAddr4> {
-        let mut t: Vec<IpAddr4> = self.by_target.keys().copied().collect();
-        t.sort_unstable();
-        t
+    /// Distinct target IPs, in address order. Built lazily on first call
+    /// and cached for the lifetime of the dataset (the record set is
+    /// immutable after construction).
+    pub fn targets(&self) -> &[IpAddr4] {
+        self.targets.get_or_init(|| {
+            let mut t: Vec<IpAddr4> = self.by_target.keys().copied().collect();
+            t.sort_unstable();
+            t
+        })
     }
 
     /// Number of attacks.
@@ -224,13 +238,24 @@ impl Dataset {
     /// Computes the Table III style summary over the whole trace.
     ///
     /// Attacker-side counts are taken over the bot records (the `Botlist`
-    /// join), victim-side counts over the attack targets.
+    /// join), victim-side counts over the attack targets. Computed on
+    /// first call and cached for the lifetime of the dataset (the record
+    /// set is immutable after construction); the incremental epoch
+    /// pipeline re-runs the `summary` pass on every bot-roster change,
+    /// so repeat calls must not rescan the trace.
     pub fn summary(&self) -> DatasetSummary {
-        let mut a_ips = HashSet::new();
-        let mut a_city = HashSet::new();
-        let mut a_cc = HashSet::new();
-        let mut a_org = HashSet::new();
-        let mut a_asn = HashSet::new();
+        *self.summary.get_or_init(|| self.compute_summary())
+    }
+
+    /// The uncached Table III scan behind [`Dataset::summary`].
+    fn compute_summary(&self) -> DatasetSummary {
+        // Distinct counting over millions of small copy keys: pre-sized
+        // FastHasher sets, not SipHash.
+        let mut a_ips = fast_set(self.bots.len());
+        let mut a_city = fast_set(self.bots.len());
+        let mut a_cc = fast_set(256);
+        let mut a_org = fast_set(self.bots.len());
+        let mut a_asn = fast_set(self.bots.len());
         for bot in &self.bots {
             a_ips.insert(bot.ip);
             a_city.insert(bot.location.city);
@@ -238,13 +263,13 @@ impl Dataset {
             a_org.insert(bot.location.org);
             a_asn.insert(bot.location.asn);
         }
-        let mut v_ips: HashSet<IpAddr4> = HashSet::new();
-        let mut v_city: HashSet<CityId> = HashSet::new();
-        let mut v_cc: HashSet<CountryCode> = HashSet::new();
-        let mut v_org: HashSet<OrgId> = HashSet::new();
-        let mut v_asn: HashSet<Asn> = HashSet::new();
-        let mut protocols = HashSet::new();
-        let mut botnet_ids = HashSet::new();
+        let mut v_ips: FastSet<IpAddr4> = fast_set(self.attacks.len());
+        let mut v_city: FastSet<CityId> = fast_set(self.attacks.len());
+        let mut v_cc: FastSet<CountryCode> = fast_set(256);
+        let mut v_org: FastSet<OrgId> = fast_set(self.attacks.len());
+        let mut v_asn: FastSet<Asn> = fast_set(self.attacks.len());
+        let mut protocols = fast_set(16);
+        let mut botnet_ids = fast_set(self.attacks.len());
         for atk in &self.attacks {
             v_ips.insert(atk.target_ip);
             v_city.insert(atk.target.city);
@@ -280,6 +305,8 @@ impl Dataset {
         self.by_family.clear();
         self.by_target.clear();
         self.by_botnet.clear();
+        self.targets = OnceLock::new();
+        self.summary = OnceLock::new();
         for (i, atk) in self.attacks.iter().enumerate() {
             let i = i as u32;
             self.by_family.entry(atk.family).or_default().push(i);
@@ -404,6 +431,8 @@ impl DatasetBuilder {
             by_family: HashMap::new(),
             by_target: HashMap::new(),
             by_botnet: HashMap::new(),
+            targets: OnceLock::new(),
+            summary: OnceLock::new(),
         };
         ds.attacks.sort_by_key(|a| (a.start, a.id));
         ds.rebuild_indexes();

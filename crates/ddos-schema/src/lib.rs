@@ -39,10 +39,12 @@ pub mod dataset;
 pub mod error;
 pub mod family;
 pub mod geo;
+pub mod hashing;
 pub mod ids;
 pub mod ip;
 pub mod protocol;
 pub mod record;
+pub mod shard;
 pub mod snapshot;
 pub mod time;
 
@@ -54,5 +56,6 @@ pub use ids::{Asn, BotnetId, CityId, DdosId, OrgId};
 pub use ip::IpAddr4;
 pub use protocol::Protocol;
 pub use record::{AttackRecord, BotRecord, BotnetRecord, Location};
+pub use shard::{DatasetShard, EpochBatch};
 pub use snapshot::{HourlySnapshot, SnapshotSeries};
 pub use time::{Seconds, Timestamp, Window};

@@ -1,0 +1,218 @@
+//! Epoch slicing: time-partitioned views over a [`Dataset`].
+//!
+//! The analysis engine folds the trace epoch by epoch instead of loading
+//! it whole. A [`DatasetShard`] is a borrowed view of one epoch's slice:
+//! the attacks that *start* inside the epoch (a contiguous range of the
+//! globally `(start, id)`-sorted attack list, so shard-local structures
+//! keep stable global indices) plus the bot records whose observation
+//! span intersects the epoch. [`EpochBatch`] is the owned equivalent,
+//! the unit a streaming feed hands to the fold one epoch at a time.
+//!
+//! Epoch boundaries clamp: an attack starting before the window lands in
+//! the first epoch, one starting at/after the window end in the last, so
+//! every attack belongs to exactly one shard and the shards concatenate
+//! back to the full trace.
+
+use std::ops::Range;
+
+use crate::dataset::Dataset;
+use crate::record::{AttackRecord, BotRecord};
+use crate::time::{Seconds, Window};
+
+/// A borrowed view of one epoch's slice of a dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetShard<'a> {
+    dataset: &'a Dataset,
+    epoch: usize,
+    span: Window,
+    attack_range: Range<usize>,
+    bot_rows: Vec<u32>,
+}
+
+impl<'a> DatasetShard<'a> {
+    /// The dataset this shard views.
+    #[inline]
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// Zero-based epoch index within the partition.
+    #[inline]
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// The epoch's time span (half-open, clamped to the trace window).
+    #[inline]
+    pub fn span(&self) -> Window {
+        self.span
+    }
+
+    /// Global index range of the shard's attacks within
+    /// [`Dataset::attacks`]; shards partition `0..dataset.len()` into
+    /// consecutive ranges.
+    #[inline]
+    pub fn attack_range(&self) -> Range<usize> {
+        self.attack_range.clone()
+    }
+
+    /// The shard's attacks, in global `(start, id)` order.
+    pub fn attacks(&self) -> &'a [AttackRecord] {
+        &self.dataset.attacks()[self.attack_range.clone()]
+    }
+
+    /// The shard's bot records as `(global row, record)`, ascending by
+    /// global row. A bot whose observation span crosses an epoch boundary
+    /// appears in every epoch it intersects; the merge keeps the
+    /// latest-positioned duplicate, matching the monolithic build.
+    pub fn bots(&self) -> impl Iterator<Item = (u32, &'a BotRecord)> + '_ {
+        let bots = self.dataset.bots();
+        self.bot_rows.iter().map(move |&r| (r, &bots[r as usize]))
+    }
+
+    /// Materializes the shard into an owned [`EpochBatch`].
+    pub fn to_batch(&self) -> EpochBatch {
+        EpochBatch {
+            epoch: self.epoch,
+            span: self.span,
+            attack_base: self.attack_range.start,
+            attacks: self.attacks().to_vec(),
+            bots: self.bots().map(|(r, b)| (r, *b)).collect(),
+        }
+    }
+}
+
+/// One epoch's records, owned: the streaming unit of the incremental
+/// pipeline. Produced by [`DatasetShard::to_batch`] or a live feed.
+#[derive(Debug, Clone)]
+pub struct EpochBatch {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// The epoch's time span.
+    pub span: Window,
+    /// Global index of the first attack in this batch.
+    pub attack_base: usize,
+    /// Attacks starting in this epoch, in global `(start, id)` order.
+    pub attacks: Vec<AttackRecord>,
+    /// `(global row, record)` of bots active in this epoch, ascending by
+    /// row.
+    pub bots: Vec<(u32, BotRecord)>,
+}
+
+impl Dataset {
+    /// Partitions the trace into epoch shards of length `epoch_len`.
+    ///
+    /// Attacks are assigned by start time (clamped to the first/last
+    /// epoch), so the shards' attack ranges are consecutive and cover
+    /// `0..len()` exactly. Bot records land in every epoch their
+    /// `[first_seen, last_seen]` span intersects.
+    pub fn shards(&self, epoch_len: Seconds) -> Vec<DatasetShard<'_>> {
+        let window = self.window();
+        let epochs = window.epochs(epoch_len);
+        let n = epochs.len();
+        // Attack boundaries: boundary[i] = first attack of epoch i.
+        // Clamping means epoch 0 starts at index 0 and the last epoch
+        // runs to the end regardless of out-of-window starts.
+        let mut bounds = Vec::with_capacity(n + 1);
+        bounds.push(0usize);
+        for e in &epochs[1..] {
+            bounds.push(self.attacks().partition_point(|a| a.start < e.start));
+        }
+        bounds.push(self.len());
+        // Bot rows per epoch, by observation-span overlap.
+        let len = epoch_len.get().max(1);
+        let last = n as i64 - 1;
+        let epoch_of = |t: crate::time::Timestamp| -> i64 {
+            if n == 1 {
+                return 0;
+            }
+            (t - window.start).get().div_euclid(len).clamp(0, last)
+        };
+        let mut bot_rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (row, bot) in self.bots().iter().enumerate() {
+            let lo = epoch_of(bot.first_seen);
+            let hi = epoch_of(bot.last_seen);
+            for e in lo..=hi {
+                bot_rows[e as usize].push(row as u32);
+            }
+        }
+        epochs
+            .into_iter()
+            .zip(bot_rows)
+            .enumerate()
+            .map(|(i, (span, rows))| DatasetShard {
+                dataset: self,
+                epoch: i,
+                span,
+                attack_range: bounds[i]..bounds[i + 1],
+                bot_rows: rows,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::record::test_fixtures::attack;
+    use crate::time::Timestamp;
+
+    fn window() -> Window {
+        Window::new(Timestamp(0), Timestamp(1_000)).unwrap()
+    }
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new(window());
+        for (id, start) in [(1, 50), (2, 250), (3, 260), (4, 990)] {
+            b.push_attack(attack(id, start)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shards_partition_attacks_contiguously() {
+        let ds = dataset();
+        let shards = ds.shards(Seconds(250));
+        assert_eq!(shards.len(), 4);
+        let ranges: Vec<_> = shards.iter().map(|s| s.attack_range()).collect();
+        assert_eq!(ranges, vec![0..1, 1..3, 3..3, 3..4]);
+        assert_eq!(shards[1].attacks().len(), 2);
+        assert!(shards[2].attacks().is_empty());
+        // Concatenated ranges cover the whole trace.
+        assert_eq!(ranges.last().unwrap().end, ds.len());
+    }
+
+    #[test]
+    fn out_of_window_attacks_clamp_to_edge_epochs() {
+        let mut b = DatasetBuilder::new(window()).allow_out_of_window();
+        for (id, start) in [(1, -100), (2, 500), (3, 2_000)] {
+            b.push_attack(attack(id, start)).unwrap();
+        }
+        let ds = b.build().unwrap();
+        let shards = ds.shards(Seconds(500));
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].attack_range(), 0..1);
+        assert_eq!(shards[1].attack_range(), 1..3);
+    }
+
+    #[test]
+    fn batch_mirrors_shard() {
+        let ds = dataset();
+        let shard = &ds.shards(Seconds(250))[1];
+        let batch = shard.to_batch();
+        assert_eq!(batch.epoch, 1);
+        assert_eq!(batch.attack_base, 1);
+        assert_eq!(batch.attacks.len(), 2);
+        assert_eq!(batch.span, shard.span());
+    }
+
+    #[test]
+    fn single_epoch_holds_everything() {
+        let ds = dataset();
+        let shards = ds.shards(Seconds(100_000));
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].attack_range(), 0..ds.len());
+        assert_eq!(shards[0].span(), ds.window());
+    }
+}

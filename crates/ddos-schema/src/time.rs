@@ -312,6 +312,25 @@ impl Window {
         let start = self.start;
         (0..hours).map(move |h| start + Seconds::hours(h as i64))
     }
+
+    /// Tiles the window into consecutive epochs of length `len`: half-open
+    /// sub-windows covering `[start, end)` exactly, with the last epoch
+    /// clamped to `end` when the length does not divide evenly. A
+    /// zero-length window (or a non-positive `len`) yields one epoch
+    /// spanning the whole window, so callers can always fold over at
+    /// least one shard.
+    pub fn epochs(&self, len: Seconds) -> Vec<Window> {
+        if len.get() <= 0 || self.length().get() <= 0 {
+            return vec![*self];
+        }
+        let n = ((self.length().get() + len.get() - 1) / len.get()) as usize;
+        (0..n)
+            .map(|i| Window {
+                start: self.start + Seconds(len.get() * i as i64),
+                end: (self.start + Seconds(len.get() * (i as i64 + 1))).min(self.end),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +411,34 @@ mod tests {
     fn window_rejects_inverted_bounds() {
         assert!(Window::new(Timestamp(10), Timestamp(5)).is_err());
         assert!(Window::new(Timestamp(5), Timestamp(5)).is_ok());
+    }
+
+    #[test]
+    fn epochs_tile_the_window_exactly() {
+        let w = Window::PAPER;
+        let weeks = w.epochs(Seconds::WEEK);
+        assert_eq!(weeks.len(), w.num_weeks());
+        assert_eq!(weeks[0].start, w.start);
+        assert_eq!(weeks.last().unwrap().end, w.end);
+        // Consecutive epochs abut with no gap or overlap.
+        for pair in weeks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // 207 days is not a whole number of weeks: the tail is clamped.
+        assert_eq!(weeks.last().unwrap().length(), Seconds::days(4));
+        // An evenly dividing length leaves every epoch full size.
+        let days = w.epochs(Seconds::DAY);
+        assert_eq!(days.len(), 207);
+        assert!(days.iter().all(|e| e.length() == Seconds::DAY));
+    }
+
+    #[test]
+    fn degenerate_epochs_cover_the_window_once() {
+        let w = Window::new(Timestamp(100), Timestamp(100)).unwrap();
+        assert_eq!(w.epochs(Seconds::DAY), vec![w]);
+        let w = Window::new(Timestamp(0), Timestamp(500)).unwrap();
+        assert_eq!(w.epochs(Seconds(0)), vec![w]);
+        assert_eq!(w.epochs(Seconds(1_000)), vec![w]);
     }
 
     #[test]

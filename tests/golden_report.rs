@@ -5,7 +5,8 @@
 //! rest of the integration suite analyzes). One table-driven test runs
 //! the pipeline every way it can be run — parallel, serial, telemetry
 //! off, the pass scheduler over a columnar or reference-built context,
-//! and the pre-refactor monolithic baseline — and asserts each variant's
+//! the pre-refactor monolithic baseline, and the epoch-sharded engine
+//! (batch fold, incremental append, streaming feed replay) — and asserts each variant's
 //! serialized report matches the committed digest byte for byte.
 //!
 //! If a change *intends* to alter report output, regenerate the file:
@@ -21,8 +22,9 @@
 
 use std::sync::OnceLock;
 
-use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
-use ddos_obs::fnv1a_64_hex;
+use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions, StreamFold};
+use ddos_obs::{fnv1a_64_hex, Obs};
+use ddos_schema::Seconds;
 use ddos_sim::{generate, GeneratedTrace, SimConfig};
 use ddos_stats::ArimaSpec;
 use proptest::prelude::*;
@@ -87,6 +89,32 @@ fn every_pipeline_variant_matches_the_golden_digest() {
                 false,
             ),
         ),
+        (
+            "epoch-folded (weekly)",
+            AnalysisReport::run_epochs(ds, PipelineOptions::default(), Seconds::WEEK),
+        ),
+        (
+            "epoch-folded (odd epoch length)",
+            AnalysisReport::run_epochs(ds, serial_opts, Seconds(100_000)),
+        ),
+        (
+            "incremental (weekly)",
+            AnalysisReport::run_incremental(ds, PipelineOptions::default(), Seconds::WEEK),
+        ),
+        ("streamed fold (weekly)", {
+            let obs = Obs::disabled();
+            let mut fold = StreamFold::new(ds.window());
+            for batch in ddos_sim::feed::replay_epochs(ds, Seconds::WEEK) {
+                fold.push(&batch, &obs);
+            }
+            AnalysisReport::run_on(
+                &fold
+                    .finish()
+                    .expect("the golden trace has at least one epoch")
+                    .into_context(ds, ArimaSpec::DEFAULT),
+                false,
+            )
+        }),
     ];
     let want = golden_digest();
     for (name, report) in &variants {
