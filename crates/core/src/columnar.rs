@@ -99,16 +99,40 @@ impl IpBuckets {
     }
 }
 
+/// Reusable workspace for [`radix_sort_by_ip_with`]: the scatter
+/// buffer plus both digit-histogram arrays (~512 KiB once sized). The
+/// epoch fold sorts a roster per epoch build, so reusing one workspace
+/// across appends removes the dominant allocation of the hot path.
+#[derive(Debug, Default)]
+pub(crate) struct RadixScratch {
+    scratch: Vec<u64>,
+    lo_counts: Vec<u32>,
+    hi_counts: Vec<u32>,
+}
+
 /// Stable LSD radix sort of `(ip << 32) | position` keys by the IP
 /// half: two 16-bit digit passes, each a counting sort. Equal IPs keep
 /// their relative (position) order, and two linear passes beat a
 /// comparison sort's `n log n` at roster scale.
 pub(crate) fn radix_sort_by_ip(order: &mut Vec<u64>) {
+    radix_sort_by_ip_with(order, &mut RadixScratch::default());
+}
+
+/// [`radix_sort_by_ip`] against a caller-owned workspace. The workspace
+/// contents are ignored on entry (resized and refilled here), so one
+/// scratch serves any sequence of sorts.
+pub(crate) fn radix_sort_by_ip_with(order: &mut Vec<u64>, ws: &mut RadixScratch) {
     let n = order.len();
-    let mut scratch = vec![0u64; n];
+    // The scatter buffer must be exactly `n` long: `mem::swap` makes it
+    // the output, and a stale longer buffer would change `order.len()`.
+    ws.scratch.clear();
+    ws.scratch.resize(n, 0);
+    ws.lo_counts.clear();
+    ws.lo_counts.resize((1 << 16) + 1, 0);
+    ws.hi_counts.clear();
+    ws.hi_counts.resize((1 << 16) + 1, 0);
+    let (scratch, lo_counts, hi_counts) = (&mut ws.scratch, &mut ws.lo_counts, &mut ws.hi_counts);
     // Both digit histograms in one read pass, then two stable scatters.
-    let mut lo_counts = vec![0u32; (1 << 16) + 1];
-    let mut hi_counts = vec![0u32; (1 << 16) + 1];
     for &key in order.iter() {
         lo_counts[((key >> 32) as u16 as usize) + 1] += 1;
         hi_counts[((key >> 48) as u16 as usize) + 1] += 1;
@@ -117,13 +141,13 @@ pub(crate) fn radix_sort_by_ip(order: &mut Vec<u64>) {
         lo_counts[d + 1] += lo_counts[d];
         hi_counts[d + 1] += hi_counts[d];
     }
-    for (shift, counts) in [(32u32, &mut lo_counts), (48, &mut hi_counts)] {
+    for (shift, counts) in [(32u32, &mut *lo_counts), (48, hi_counts)] {
         for &key in order.iter() {
             let slot = &mut counts[(key >> shift) as u16 as usize];
             scratch[*slot as usize] = key;
             *slot += 1;
         }
-        std::mem::swap(order, &mut scratch);
+        std::mem::swap(order, scratch);
     }
 }
 
@@ -162,6 +186,15 @@ impl BotTable {
     pub(crate) fn from_records<'r>(
         records: impl IntoIterator<Item = (u32, &'r BotRecord)>,
     ) -> BotTable {
+        Self::from_records_with(records, &mut RadixScratch::default())
+    }
+
+    /// [`BotTable::from_records`] against a caller-owned radix
+    /// workspace, so repeated epoch builds stop re-allocating it.
+    pub(crate) fn from_records_with<'r>(
+        records: impl IntoIterator<Item = (u32, &'r BotRecord)>,
+        ws: &mut RadixScratch,
+    ) -> BotTable {
         let records: Vec<(u32, &BotRecord)> = records.into_iter().collect();
         debug_assert!(records.windows(2).all(|w| w[0].0 < w[1].0));
         // (ip, local sequence) packed into one u64 so the sort never
@@ -174,7 +207,7 @@ impl BotTable {
             .enumerate()
             .map(|(seq, (_, b))| (u64::from(b.ip.value()) << 32) | seq as u64)
             .collect();
-        radix_sort_by_ip(&mut order);
+        radix_sort_by_ip_with(&mut order, ws);
 
         let mut ips = Vec::with_capacity(order.len());
         let mut countries = Vec::with_capacity(order.len());

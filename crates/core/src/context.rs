@@ -44,7 +44,10 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use ddos_geo::{dispersion, dispersion_precomp_indexed_counted, KernelCounters};
+use ddos_geo::{
+    dispersion, dispersion_precomp_indexed_counted, dispersion_precomp_indexed_presummed,
+    CenterSum, KernelCounters,
+};
 use ddos_obs::Obs;
 use ddos_schema::{CountryCode, Dataset, Family, IpAddr4, Timestamp};
 use ddos_stats::ArimaSpec;
@@ -52,6 +55,7 @@ use ddos_stats::ArimaSpec;
 use crate::columnar::{
     chunk_ranges, radix_sort_by_ip, worker_count, BotTable, SourceTable, NO_BOT,
 };
+use crate::kernels::KernelPolicy;
 use crate::source::dispersion::FamilyDispersion;
 use crate::util::{BotIndex, IpMap};
 
@@ -100,6 +104,10 @@ pub struct AnalysisContext<'a> {
     pub all_starts: Vec<Timestamp>,
     /// Per-target attack histories, sorted by target IP.
     pub target_timelines: Vec<TargetTimeline>,
+    /// Which pass-body kernels the passes run against this context
+    /// (reference algorithms vs chunked partial-merge kernels — the
+    /// report bytes are identical either way; see [`crate::kernels`]).
+    pub kernels: KernelPolicy,
     /// Per-family precomputation in [`Family::ACTIVE`] order.
     families: Vec<FamilyContext>,
 }
@@ -245,6 +253,112 @@ fn resolve_family_chunk(
     out
 }
 
+/// The fused variant of [`resolve_family_chunk`]: one sweep over the
+/// chunk's attacks drives both substreams — the weekly stamp dedup and
+/// the dispersion snapshot — instead of two, and for the common fully-
+/// resolved attack the sweep fuses element-for-element: one loop over
+/// the id slice both stamps the weekly dedup and folds the dispersion
+/// center sum (a resolved id *is* its trig row), so each id slice is
+/// walked once instead of twice. The center fold pushes in id order
+/// and [`dispersion_precomp_indexed_presummed`] finishes with the
+/// one-call kernel's exact expressions, so every output bit matches
+/// the two-sweep resolver; the context equivalence suite and the
+/// kernel proptests pin that. Selected by any non-`Reference`
+/// [`KernelPolicy`]; at paper scale this is the context build's
+/// hottest loop.
+fn resolve_family_chunk_fused(
+    dataset: &Dataset,
+    bots: &BotTable,
+    sources: &SourceTable,
+    attack_indices: &[u32],
+    num_weeks: usize,
+    stamp: &mut WeekStamp,
+    kernel: &KernelCounters,
+) -> FamilyChunk {
+    let window = dataset.window();
+    let attacks = dataset.attacks();
+    let trigs = bots.trigs();
+    let mut out = FamilyChunk {
+        starts: Vec::with_capacity(attack_indices.len()),
+        series: Vec::with_capacity(attack_indices.len()),
+        days: Vec::new(),
+        weekly: vec![IpMap::default(); num_weeks],
+    };
+    let tag_base = stamp.begin(sources.dict_len(), num_weeks);
+    let tags = &mut stamp.tags[..];
+    let mut per_week = vec![0usize; num_weeks];
+    let mut firsts: Vec<(IpAddr4, CountryCode, u32)> = Vec::new();
+    let mut rows: Vec<u32> = Vec::new();
+    for &ai in attack_indices {
+        let a = &attacks[ai as usize];
+        let ids = sources.ids_of(ai as usize);
+        out.starts.push(a.start);
+        let d = if sources.unresolved_in(ai as usize) == 0 {
+            // Fully resolved: ids are the kernel's row list, so one
+            // fused loop stamps the weekly dedup and folds the center
+            // sum together. Every id resolves, so the two-sweep pass's
+            // `bot_row(id) != NO_BOT` check is vacuous here.
+            let mut sum = CenterSum::default();
+            if let Some(w) = window.week_index(a.start) {
+                let tag = tag_base + w as u32;
+                for (k, &id) in ids.iter().enumerate() {
+                    sum.push(&trigs[id as usize]);
+                    if tags[id as usize] != tag {
+                        tags[id as usize] = tag;
+                        per_week[w] += 1;
+                        firsts.push((a.sources[k], bots.country(id), w as u32));
+                    }
+                }
+            } else {
+                for &id in ids {
+                    sum.push(&trigs[id as usize]);
+                }
+            }
+            dispersion_precomp_indexed_presummed(trigs, ids, sum, kernel)
+        } else {
+            // Unresolvable sources present: fall back to the two
+            // substreams of the two-sweep pass, verbatim.
+            if let Some(w) = window.week_index(a.start) {
+                let tag = tag_base + w as u32;
+                for (k, &id) in ids.iter().enumerate() {
+                    if tags[id as usize] == tag {
+                        continue;
+                    }
+                    tags[id as usize] = tag;
+                    let row = sources.bot_row(id);
+                    if row != NO_BOT {
+                        per_week[w] += 1;
+                        firsts.push((a.sources[k], bots.country(row), w as u32));
+                    }
+                }
+            }
+            rows.clear();
+            rows.extend(
+                ids.iter()
+                    .copied()
+                    .filter(|&id| sources.bot_row(id) != NO_BOT),
+            );
+            dispersion_precomp_indexed_counted(trigs, &rows, kernel)
+        };
+        let Some(d) = d else {
+            continue;
+        };
+        if let Some(day) = window.day_index(a.start) {
+            if out.days.last() != Some(&day) {
+                out.days.push(day);
+            }
+        }
+        out.series.push((a.start, d.value()));
+    }
+    for (w, &n) in per_week.iter().enumerate() {
+        out.weekly[w].reserve(n);
+    }
+    for &(ip, country, w) in &firsts {
+        out.weekly[w as usize].insert(ip, country);
+    }
+    out
+}
+
 impl<'a> AnalysisContext<'a> {
     /// Builds the context with the default ARIMA order.
     pub fn new(dataset: &'a Dataset) -> AnalysisContext<'a> {
@@ -286,6 +400,24 @@ impl<'a> AnalysisContext<'a> {
         dataset: &'a Dataset,
         spec: ArimaSpec,
         parallel: bool,
+        obs: &Obs,
+    ) -> AnalysisContext<'a> {
+        Self::build_kernels(dataset, spec, parallel, KernelPolicy::Auto, obs)
+    }
+
+    /// [`AnalysisContext::build_obs`] with an explicit [`KernelPolicy`].
+    ///
+    /// The policy selects the family resolver (`Reference` keeps the
+    /// two-sweep PR 6 resolver; `Auto`/`Chunked` run the fused
+    /// single-sweep variant), overrides the chunk granularity of the
+    /// family jobs when `Chunked`, and is recorded on the context so
+    /// the gated pass bodies pick their kernels accordingly. Every
+    /// policy builds a bit-identical context and report.
+    pub fn build_kernels(
+        dataset: &'a Dataset,
+        spec: ArimaSpec,
+        parallel: bool,
+        policy: KernelPolicy,
         obs: &Obs,
     ) -> AnalysisContext<'a> {
         let bot_span = obs.span("context/bot_table");
@@ -351,16 +483,27 @@ impl<'a> AnalysisContext<'a> {
         let mut jobs: Vec<(usize, &[u32])> = Vec::new();
         for (slot, family) in Family::ACTIVE.into_iter().enumerate() {
             let indices = dataset.attack_indices_of(family);
-            for r in chunk_ranges(indices.len(), pieces) {
+            let ranges = match policy {
+                // A forced chunk length overrides the per-worker cut —
+                // the proptests force degenerate chunkings through it.
+                KernelPolicy::Chunked(_) => policy.chunks(indices.len()),
+                _ => chunk_ranges(indices.len(), pieces),
+            };
+            for r in ranges {
                 jobs.push((slot, &indices[r]));
             }
         }
         // Each worker owns one reusable week-stamp buffer across all the
         // chunks it drains ([`WeekStamp`] hands every chunk a fresh tag
         // range, so no re-zeroing between chunks).
+        let resolver = if policy.is_reference() {
+            resolve_family_chunk
+        } else {
+            resolve_family_chunk_fused
+        };
         let run_job = |&(slot, indices): &(usize, &[u32]), stamp: &mut WeekStamp| {
             let t0 = obs.now_us();
-            let chunk = resolve_family_chunk(
+            let chunk = resolver(
                 dataset, &bot_table, &sources, indices, num_weeks, stamp, &kernel,
             );
             chunk_hist.record(obs.now_us().saturating_sub(t0));
@@ -461,6 +604,7 @@ impl<'a> AnalysisContext<'a> {
             durations,
             all_starts,
             target_timelines,
+            kernels: policy,
             families,
         }
     }
@@ -542,6 +686,7 @@ impl<'a> AnalysisContext<'a> {
             durations,
             all_starts,
             target_timelines,
+            kernels: KernelPolicy::Reference,
             families,
         }
     }
@@ -570,8 +715,18 @@ impl<'a> AnalysisContext<'a> {
             durations,
             all_starts,
             target_timelines,
+            kernels: KernelPolicy::Auto,
             families,
         }
+    }
+
+    /// Sets the pass-body kernel policy (builder style) — the epoch
+    /// fold's exit points assemble contexts through
+    /// [`AnalysisContext::from_parts`] and stamp the pipeline's policy
+    /// on afterwards.
+    pub fn with_kernels(mut self, kernels: KernelPolicy) -> AnalysisContext<'a> {
+        self.kernels = kernels;
+        self
     }
 
     /// The per-family slots, in [`Family::ACTIVE`] order.

@@ -44,14 +44,27 @@ use ddos_schema::{
 use ddos_stats::ArimaSpec;
 
 use crate::columnar::{
-    merge_bot_tables, merge_source_tables, radix_sort_by_ip, BotTable, SourceTable, NO_BOT,
+    merge_bot_tables, merge_source_tables, radix_sort_by_ip_with, BotTable, RadixScratch,
+    SourceTable, NO_BOT,
 };
 use crate::context::{AnalysisContext, FamilyContext, TargetTimeline};
+use crate::kernels::KernelPolicy;
 use crate::source::dispersion::FamilyDispersion;
 use crate::util::IpMap;
 
 /// Sentinel slot for attacks of families outside [`Family::ACTIVE`].
 const NO_SLOT: u8 = u8::MAX;
+
+/// Reusable workspace for epoch builds and merges: the radix-sort
+/// scratch (the fold's dominant allocation — ~512 KiB re-allocated per
+/// epoch before this) plus the row-filter buffer of the snapshot
+/// kernel. One scratch serves any sequence of builds and merges;
+/// contents are ignored on entry.
+#[derive(Debug, Default)]
+pub struct FoldScratch {
+    pub(crate) radix: RadixScratch,
+    pub(crate) rows: Vec<u32>,
+}
 
 /// One active family's share of an epoch.
 #[derive(Debug, Clone)]
@@ -129,9 +142,44 @@ fn snap_of(
     dispersion_precomp_indexed_counted(bots.trigs(), row_list, kernel).map(|d| d.value())
 }
 
+/// The chunked snapshot kernel: dispersion snapshot of every covered
+/// attack, computed as per-chunk partials over the columnar tables and
+/// written back in chunk order. Inactive-family attacks stay `None`
+/// without ever reaching the kernel (so its counters see exactly the
+/// serial build's call sequence), and each element depends only on its
+/// own attack — any chunking of the range is bit-identical.
+fn dispersion_snapshots(
+    sources: &SourceTable,
+    bots: &BotTable,
+    family_slot: &[u8],
+    policy: KernelPolicy,
+    rows: &mut Vec<u32>,
+    kernel: &KernelCounters,
+) -> Vec<Option<f64>> {
+    let mut out = vec![None; family_slot.len()];
+    for range in policy.chunks(family_slot.len()) {
+        for local in range {
+            if family_slot[local] != NO_SLOT {
+                out[local] = snap_of(sources, bots, local, rows, kernel);
+            }
+        }
+    }
+    out
+}
+
 impl EpochContext {
     /// Builds one epoch's context from a borrowed shard.
     pub fn build(shard: &DatasetShard<'_>, obs: &Obs) -> EpochContext {
+        Self::build_scratch(shard, obs, &mut FoldScratch::default())
+    }
+
+    /// [`EpochContext::build`] against a caller-owned workspace, so a
+    /// fold over many epochs allocates its radix scratch once.
+    pub fn build_scratch(
+        shard: &DatasetShard<'_>,
+        obs: &Obs,
+        ws: &mut FoldScratch,
+    ) -> EpochContext {
         Self::build_from(
             shard.dataset().window(),
             shard.span(),
@@ -139,12 +187,23 @@ impl EpochContext {
             shard.attacks(),
             shard.bots(),
             obs,
+            ws,
         )
     }
 
     /// Builds one epoch's context from an owned batch (the streaming
     /// path; `window` is the global trace window).
     pub fn build_batch(window: Window, batch: &EpochBatch, obs: &Obs) -> EpochContext {
+        Self::build_batch_scratch(window, batch, obs, &mut FoldScratch::default())
+    }
+
+    /// [`EpochContext::build_batch`] against a caller-owned workspace.
+    pub fn build_batch_scratch(
+        window: Window,
+        batch: &EpochBatch,
+        obs: &Obs,
+        ws: &mut FoldScratch,
+    ) -> EpochContext {
         Self::build_from(
             window,
             batch.span,
@@ -152,6 +211,7 @@ impl EpochContext {
             &batch.attacks,
             batch.bots.iter().map(|(r, b)| (*r, b)),
             obs,
+            ws,
         )
     }
 
@@ -162,9 +222,10 @@ impl EpochContext {
         attacks: &[AttackRecord],
         bot_records: impl IntoIterator<Item = (u32, &'r BotRecord)>,
         obs: &Obs,
+        ws: &mut FoldScratch,
     ) -> EpochContext {
         let _span = obs.span("epoch/build");
-        let bots = BotTable::from_records(bot_records);
+        let bots = BotTable::from_records_with(bot_records, &mut ws.radix);
         let sources = SourceTable::build_slice(attacks, &bots, false);
 
         let mut durations = Vec::with_capacity(attacks.len());
@@ -187,7 +248,7 @@ impl EpochContext {
             .enumerate()
             .map(|(i, a)| (u64::from(a.target_ip.value()) << 32) | i as u64)
             .collect();
-        radix_sort_by_ip(&mut keyed);
+        radix_sort_by_ip_with(&mut keyed, &mut ws.radix);
         let mut timelines: Vec<TargetTimeline> = Vec::new();
         let mut run = 0;
         while run < keyed.len() {
@@ -217,7 +278,14 @@ impl EpochContext {
                 weekly: vec![IpMap::default(); num_weeks],
             })
             .collect();
-        let mut scratch: Vec<u32> = Vec::new();
+        let snaps = dispersion_snapshots(
+            &sources,
+            &bots,
+            &family_slot,
+            KernelPolicy::Auto,
+            &mut ws.rows,
+            &kernel,
+        );
         for (local, a) in attacks.iter().enumerate() {
             let slot_id = family_slot[local];
             if slot_id == NO_SLOT {
@@ -225,8 +293,7 @@ impl EpochContext {
             }
             let slot = &mut slots[slot_id as usize];
             slot.indices.push((attack_base + local) as u32);
-            slot.snaps
-                .push(snap_of(&sources, &bots, local, &mut scratch, &kernel));
+            slot.snaps.push(snaps[local]);
             if let Some(w) = window.week_index(a.start) {
                 for (k, &id) in sources.ids_of(local).iter().enumerate() {
                     let row = sources.bot_row(id);
@@ -294,6 +361,20 @@ impl EpochContext {
     /// If the contexts disagree on the global window or are not
     /// adjacent.
     pub fn merge(self, other: EpochContext) -> (EpochContext, MergeDelta) {
+        self.merge_scratch(other, &mut FoldScratch::default())
+    }
+
+    /// [`EpochContext::merge`] against a caller-owned workspace, so a
+    /// long fold reuses one fix-up buffer across every merge.
+    ///
+    /// # Panics
+    ///
+    /// As [`EpochContext::merge`].
+    pub fn merge_scratch(
+        self,
+        other: EpochContext,
+        ws: &mut FoldScratch,
+    ) -> (EpochContext, MergeDelta) {
         let (a, b) = (self, other);
         assert_eq!(a.window, b.window, "epochs from different traces");
         assert_eq!(
@@ -367,7 +448,6 @@ impl EpochContext {
         let window = a.window;
         let attack_base = a.attack_base;
         let kernel = KernelCounters::default();
-        let mut scratch: Vec<u32> = Vec::new();
         for &local in &affected {
             let local = local as usize;
             let slot_id = family_slot[local];
@@ -380,7 +460,7 @@ impl EpochContext {
                 .indices
                 .binary_search(&global)
                 .expect("affected attack indexed in its family slot");
-            slot.snaps[pos] = snap_of(&sources, &bots, local, &mut scratch, &kernel);
+            slot.snaps[pos] = snap_of(&sources, &bots, local, &mut ws.rows, &kernel);
             if let Some(w) = window.week_index(starts[local]) {
                 for &id in sources.ids_of(local) {
                     let row = sources.bot_row(id);
@@ -415,11 +495,19 @@ impl EpochContext {
         )
     }
 
-    /// The per-family contexts this fold has accumulated, in
-    /// [`Family::ACTIVE`] order.
-    fn to_families(&self, window: Window) -> Vec<FamilyContext> {
-        self.slots
-            .iter()
+    /// The per-family contexts a fold has accumulated, in
+    /// [`Family::ACTIVE`] order. Takes the slots by value so the
+    /// consuming conversion moves each weekly bot map (the fold's
+    /// largest per-family payload) instead of cloning it; the
+    /// mid-stream clone path pays for its copy explicitly.
+    fn families_from_slots(
+        window: Window,
+        attack_base: usize,
+        attack_starts: &[Timestamp],
+        slots: Vec<EpochSlot>,
+    ) -> Vec<FamilyContext> {
+        slots
+            .into_iter()
             .zip(Family::ACTIVE)
             .map(|(slot, family)| {
                 let mut series = Vec::new();
@@ -427,7 +515,7 @@ impl EpochContext {
                 let starts: Vec<Timestamp> = slot
                     .indices
                     .iter()
-                    .map(|&g| self.starts[g as usize - self.attack_base])
+                    .map(|&g| attack_starts[g as usize - attack_base])
                     .collect();
                 for (&t, snap) in starts.iter().zip(&slot.snaps) {
                     if let Some(v) = *snap {
@@ -445,7 +533,7 @@ impl EpochContext {
                         series,
                         active_days: days.len(),
                     },
-                    weekly_bots: slot.weekly.clone(),
+                    weekly_bots: slot.weekly,
                 }
             })
             .collect()
@@ -461,7 +549,8 @@ impl EpochContext {
         assert_eq!(self.attack_base, 0, "fold must start at the first epoch");
         assert_eq!(self.len(), dataset.len(), "fold must cover every attack");
         assert_eq!(self.window, dataset.window(), "fold from another trace");
-        let families = self.to_families(self.window);
+        let families =
+            Self::families_from_slots(self.window, self.attack_base, &self.starts, self.slots);
         AnalysisContext::from_parts(
             dataset,
             spec,
@@ -482,7 +571,12 @@ impl EpochContext {
     /// *final* report is exact.
     pub fn to_context<'a>(&self, dataset: &'a Dataset, spec: ArimaSpec) -> AnalysisContext<'a> {
         assert_eq!(self.attack_base, 0, "fold must start at the first epoch");
-        let families = self.to_families(self.window);
+        let families = Self::families_from_slots(
+            self.window,
+            self.attack_base,
+            &self.starts,
+            self.slots.clone(),
+        );
         AnalysisContext::from_parts(
             dataset,
             spec,
@@ -510,6 +604,7 @@ pub struct StreamFold {
     acc: Option<EpochContext>,
     next_base: usize,
     peak_rows: u64,
+    scratch: FoldScratch,
 }
 
 impl StreamFold {
@@ -520,6 +615,7 @@ impl StreamFold {
             acc: None,
             next_base: 0,
             peak_rows: 0,
+            scratch: FoldScratch::default(),
         }
     }
 
@@ -539,12 +635,12 @@ impl StreamFold {
                 .map_or(0, |acc| (acc.len() + acc.bot_rows()) as u64);
         obs.gauge("epoch/resident_rows").record_max(resident);
         self.peak_rows = self.peak_rows.max(resident);
-        let ctx = EpochContext::build_batch(self.window, batch, obs);
+        let ctx = EpochContext::build_batch_scratch(self.window, batch, obs, &mut self.scratch);
         self.acc = Some(match self.acc.take() {
             None => ctx,
             Some(acc) => {
                 let span = obs.span("epoch/merge");
-                let (merged, _) = acc.merge(ctx);
+                let (merged, _) = acc.merge_scratch(ctx, &mut self.scratch);
                 drop(span);
                 merged
             }
@@ -560,5 +656,61 @@ impl StreamFold {
     /// no batch was pushed).
     pub fn finish(self) -> Option<EpochContext> {
         self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddos_sim::{generate, SimConfig};
+
+    /// The snapshot kernel is chunking-invariant — chunk size 1,
+    /// uneven chunks, and chunks wider than the input all reproduce the
+    /// reference scan bit-for-bit, counters included (inactive-family
+    /// attacks never reach the kernel on any path).
+    #[test]
+    fn snapshot_kernel_is_chunking_invariant() {
+        let cfg = SimConfig {
+            scale: 0.004,
+            ..SimConfig::small()
+        };
+        let trace = generate(&cfg);
+        let ds = &trace.dataset;
+        let bots = BotTable::build(ds);
+        let sources = SourceTable::build(ds, &bots, false);
+        let family_slot: Vec<u8> = ds
+            .attacks()
+            .iter()
+            .map(|a| {
+                if a.family.is_active() {
+                    a.family.index() as u8
+                } else {
+                    NO_SLOT
+                }
+            })
+            .collect();
+        assert!(!family_slot.is_empty(), "sim trace must cover attacks");
+
+        let run = |policy: KernelPolicy| {
+            let kernel = KernelCounters::default();
+            let mut rows = Vec::new();
+            let snaps =
+                dispersion_snapshots(&sources, &bots, &family_slot, policy, &mut rows, &kernel);
+            (
+                snaps,
+                kernel.snapshots(),
+                kernel.points(),
+                kernel.degenerate(),
+            )
+        };
+        let reference = run(KernelPolicy::Reference);
+        for chunk in [1, 7, ds.len() + 5] {
+            assert_eq!(
+                run(KernelPolicy::Chunked(chunk)),
+                reference,
+                "chunk={chunk}"
+            );
+        }
+        assert_eq!(run(KernelPolicy::Auto), reference);
     }
 }

@@ -35,6 +35,7 @@ pub mod columnar;
 pub mod context;
 pub mod defense;
 pub mod epoch;
+pub mod kernels;
 pub mod overview;
 pub mod passes;
 pub mod pipeline;
@@ -46,5 +47,6 @@ pub mod util;
 
 pub use columnar::{BotTable, SourceTable, NO_BOT};
 pub use context::AnalysisContext;
-pub use epoch::{EpochContext, MergeDelta, StreamFold};
+pub use epoch::{EpochContext, FoldScratch, MergeDelta, StreamFold};
+pub use kernels::KernelPolicy;
 pub use pipeline::{AnalysisReport, AppendStats, IncrementalPipeline, PipelineOptions};

@@ -4,6 +4,8 @@ use ddos_schema::{Dataset, Family, Timestamp};
 use ddos_stats::{descriptive, Ecdf};
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::KernelPolicy;
+
 /// Duration analysis over a trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DurationAnalysis {
@@ -41,7 +43,11 @@ impl DurationAnalysis {
             .copied()
             .zip(ctx.durations.iter().copied())
             .collect();
-        Self::from_series(series)
+        if ctx.kernels.is_reference() {
+            Self::from_series(series)
+        } else {
+            Self::from_series_kernel(series, ctx.kernels)
+        }
     }
 
     fn compute_filtered(ds: &Dataset, family: Option<Family>) -> Option<DurationAnalysis> {
@@ -64,6 +70,35 @@ impl DurationAnalysis {
             median: descriptive::median(&xs)?,
             std_dev: descriptive::std_dev_population(&xs)?,
             p80: descriptive::quantile(&xs, 0.8)?,
+            series,
+        })
+    }
+
+    /// Kernel variant of [`DurationAnalysis::from_series`]: the duration
+    /// sample is extracted as per-chunk runs concatenated in chunk order
+    /// (identical to the sequential extraction), the mean and deviation
+    /// read it in that original order, and one shared sort feeds both
+    /// quantiles — the reference sorts the same sample with the same
+    /// comparator twice, so every statistic is bit-identical.
+    fn from_series_kernel(
+        series: Vec<(Timestamp, f64)>,
+        policy: KernelPolicy,
+    ) -> Option<DurationAnalysis> {
+        if series.is_empty() {
+            return None;
+        }
+        let mut xs: Vec<f64> = Vec::with_capacity(series.len());
+        for range in policy.chunks(series.len()) {
+            xs.extend(series[range].iter().map(|&(_, d)| d));
+        }
+        let mean = descriptive::mean(&xs)?;
+        let std_dev = descriptive::std_dev_population(&xs)?;
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in duration sample"));
+        Some(DurationAnalysis {
+            mean,
+            median: descriptive::quantile_sorted(&xs, 0.5),
+            std_dev,
+            p80: descriptive::quantile_sorted(&xs, 0.8),
             series,
         })
     }
@@ -114,6 +149,26 @@ mod tests {
         let cdf = d.cdf();
         assert_eq!(cdf.eval(50.0), 0.5);
         assert_eq!(cdf.eval(150.0), 1.0);
+    }
+
+    #[test]
+    fn kernel_statistics_match_reference_for_every_chunking() {
+        let series: Vec<(Timestamp, f64)> = [100.0, 200.0, 200.0, 600.0, 50.0, 13_882.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (Timestamp(i as i64 * 10), d))
+            .collect();
+        let expect = DurationAnalysis::from_series(series.clone()).unwrap();
+        for policy in [
+            KernelPolicy::Auto,
+            KernelPolicy::Chunked(1),
+            KernelPolicy::Chunked(4),
+            KernelPolicy::Chunked(100),
+        ] {
+            let got = DurationAnalysis::from_series_kernel(series.clone(), policy).unwrap();
+            assert_eq!(got, expect, "{policy:?}");
+        }
+        assert!(DurationAnalysis::from_series_kernel(vec![], KernelPolicy::Auto).is_none());
     }
 
     #[test]

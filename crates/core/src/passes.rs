@@ -43,7 +43,7 @@ use crate::source::dispersion::{qualifying_families_ctx, FamilyDispersion};
 use crate::source::prediction::PredictionAnalysis;
 use crate::source::shift::ShiftAnalysis;
 use crate::summary::SummaryComparison;
-use crate::target::country::{all_profiles, overall_top_countries, FamilyCountryProfile};
+use crate::target::country::{all_profiles_ctx, overall_top_countries_ctx, FamilyCountryProfile};
 use crate::target::recurrence::RecurrenceAnalysis;
 
 /// The detection-latency grid of the report (§III-D: 1 min, 10 min,
@@ -165,77 +165,114 @@ pub struct PassSpec {
     /// the superset.
     pub reads: &'static [CtxPart],
     /// The pass body. Must be a pure function of the context and the
-    /// declared dependencies' slots in the partial report.
-    pub run: fn(&AnalysisContext, &PartialReport) -> PassOutput,
+    /// declared dependencies' slots in the partial report; the observer
+    /// is for `kernels/*` telemetry only and never changes the output.
+    pub run: fn(&AnalysisContext, &PartialReport, &Obs) -> PassOutput,
 }
 
-fn pass_protocols(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+/// Records one gated pass body's kernel telemetry: how many chunks its
+/// policy splits `items` into (`kernels/chunks`), skipped under
+/// [`KernelPolicy::Reference`] where no chunked kernel runs.
+///
+/// [`KernelPolicy::Reference`]: crate::kernels::KernelPolicy::Reference
+fn record_kernel_chunks(ctx: &AnalysisContext, obs: &Obs, items: usize) {
+    if !ctx.kernels.is_reference() {
+        obs.histogram("kernels/chunks")
+            .record(ctx.kernels.chunks(items).len() as u64);
+    }
+}
+
+fn pass_protocols(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::Protocols(ProtocolPopularity::compute(ctx.dataset))
 }
 
-fn pass_protocol_rows(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_protocol_rows(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::ProtocolRows(protocol_preferences(ctx.dataset))
 }
 
-fn pass_summary(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_summary(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::Summary(SummaryComparison::compute(ctx.dataset))
 }
 
-fn pass_daily(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
-    PassOutput::Daily(DailyDistribution::compute(ctx.dataset))
+fn pass_daily(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/daily");
+    record_kernel_chunks(ctx, obs, ctx.all_starts.len());
+    PassOutput::Daily(DailyDistribution::compute_ctx(ctx))
 }
 
-fn pass_interval_stats(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_interval_stats(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/interval_stats");
     PassOutput::IntervalStats(
         ctx.families()
             .iter()
             .map(|fc| {
                 let ivs = starts_to_intervals(&fc.starts);
-                (fc.family, IntervalStats::compute(&ivs))
+                record_kernel_chunks(ctx, obs, ivs.len());
+                let stats = if ctx.kernels.is_reference() {
+                    IntervalStats::compute(&ivs)
+                } else {
+                    IntervalStats::compute_kernel(&ivs, ctx.kernels)
+                };
+                (fc.family, stats)
             })
             .collect(),
     )
 }
 
-fn pass_all_interval_stats(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
-    PassOutput::AllIntervalStats(IntervalStats::compute(&starts_to_intervals(
-        &ctx.all_starts,
-    )))
+fn pass_all_interval_stats(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/all_interval_stats");
+    let ivs = starts_to_intervals(&ctx.all_starts);
+    record_kernel_chunks(ctx, obs, ivs.len());
+    PassOutput::AllIntervalStats(if ctx.kernels.is_reference() {
+        IntervalStats::compute(&ivs)
+    } else {
+        IntervalStats::compute_kernel(&ivs, ctx.kernels)
+    })
 }
 
-fn pass_concurrency(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_concurrency(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::Concurrency(ConcurrencyAnalysis::compute_ctx(ctx))
 }
 
-fn pass_durations(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_durations(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/durations");
+    record_kernel_chunks(ctx, obs, ctx.durations.len());
     PassOutput::Durations(DurationAnalysis::compute_ctx(ctx))
 }
 
-fn pass_shifts(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_shifts(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/shifts");
+    record_kernel_chunks(ctx, obs, ctx.dataset.window().num_weeks());
     PassOutput::Shifts(ShiftAnalysis::compute_ctx(ctx))
 }
 
-fn pass_dispersion(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_dispersion(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::Dispersion(qualifying_families_ctx(ctx))
 }
 
-fn pass_prediction(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_prediction(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::Prediction(PredictionAnalysis::compute_ctx(ctx))
 }
 
-fn pass_target_countries(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
-    PassOutput::TargetCountries(all_profiles(ctx.dataset))
+fn pass_target_countries(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/target_countries");
+    record_kernel_chunks(ctx, obs, ctx.dataset.len());
+    PassOutput::TargetCountries(all_profiles_ctx(ctx))
 }
 
-fn pass_overall_targets(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
-    PassOutput::OverallTargets(overall_top_countries(ctx.dataset, 5))
+fn pass_overall_targets(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/overall_targets");
+    record_kernel_chunks(ctx, obs, ctx.dataset.len());
+    PassOutput::OverallTargets(overall_top_countries_ctx(ctx, 5))
 }
 
-fn pass_collaborations(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_collaborations(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/collaborations");
+    record_kernel_chunks(ctx, obs, ctx.target_timelines.len());
     PassOutput::Collaborations(CollabAnalysis::compute_ctx(ctx))
 }
 
-fn pass_flagship_pair(ctx: &AnalysisContext, partial: &PartialReport) -> PassOutput {
+fn pass_flagship_pair(ctx: &AnalysisContext, partial: &PartialReport, _obs: &Obs) -> PassOutput {
     let collab = partial
         .collaborations
         .as_ref()
@@ -248,23 +285,27 @@ fn pass_flagship_pair(ctx: &AnalysisContext, partial: &PartialReport) -> PassOut
     ))
 }
 
-fn pass_multistage(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_multistage(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::Multistage(MultistageAnalysis::compute_ctx(ctx))
 }
 
-fn pass_activity(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_activity(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::Activity(activity_levels(ctx.dataset))
 }
 
-fn pass_recurrence(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_recurrence(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/recurrence");
+    record_kernel_chunks(ctx, obs, ctx.target_timelines.len());
     PassOutput::Recurrence(RecurrenceAnalysis::compute_ctx(ctx))
 }
 
-fn pass_blacklist(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_blacklist(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
+    let _k = obs.span("kernels/blacklist");
+    record_kernel_chunks(ctx, obs, ctx.target_timelines.len());
     PassOutput::Blacklist(BlacklistSim::run_ctx(ctx))
 }
 
-fn pass_latency(ctx: &AnalysisContext, _: &PartialReport) -> PassOutput {
+fn pass_latency(ctx: &AnalysisContext, _: &PartialReport, _obs: &Obs) -> PassOutput {
     PassOutput::Latency(latency_sweep_from_durations(&ctx.durations, LATENCY_GRID_S))
 }
 
@@ -404,7 +445,7 @@ fn run_pass(
     obs: &Obs,
 ) -> (&'static str, PassOutput, u64, u64) {
     let start_us = obs.now_us();
-    let out = (pass.run)(ctx, partial);
+    let out = (pass.run)(ctx, partial, obs);
     (pass.name, out, start_us, obs.now_us())
 }
 

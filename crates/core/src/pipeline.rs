@@ -27,7 +27,8 @@ use crate::collab::multistage::MultistageAnalysis;
 use crate::columnar::worker_count;
 use crate::context::AnalysisContext;
 use crate::defense::{detection_latency_sweep, BlacklistSim, LatencyPoint};
-use crate::epoch::EpochContext;
+use crate::epoch::{EpochContext, FoldScratch};
+use crate::kernels::KernelPolicy;
 use crate::overview::activity::{activity_levels, FamilyActivity};
 use crate::overview::daily::DailyDistribution;
 use crate::overview::duration::DurationAnalysis;
@@ -56,6 +57,12 @@ pub struct PipelineOptions {
     /// code runs and the report bytes are identical (the conformance
     /// suite asserts this); only the telemetry artifact is empty.
     pub telemetry: bool,
+    /// Which pass-body kernels to run: the chunked partial-merge
+    /// kernels (`Auto`, the default; `Chunked` forces a chunk length)
+    /// or the pre-kernel reference algorithms (`Reference`). Report
+    /// bytes are identical for every policy — the golden suite and the
+    /// kernel proptests pin this.
+    pub kernels: KernelPolicy,
 }
 
 impl Default for PipelineOptions {
@@ -64,6 +71,7 @@ impl Default for PipelineOptions {
             spec: ArimaSpec::DEFAULT,
             parallel: true,
             telemetry: true,
+            kernels: KernelPolicy::Auto,
         }
     }
 }
@@ -149,7 +157,7 @@ impl AnalysisReport {
         };
         let ctx = {
             let _span = obs.span("context");
-            AnalysisContext::build_obs(ds, opts.spec, opts.parallel, &obs)
+            AnalysisContext::build_kernels(ds, opts.spec, opts.parallel, opts.kernels, &obs)
         };
         let partial = passes::execute(&ctx, opts.parallel, &obs);
         let mut report = {
@@ -221,16 +229,38 @@ impl AnalysisReport {
                 .map(|s| EpochContext::build(s, &obs))
                 .collect()
         };
+        // Balanced pairwise fold: adjacent contexts merge level by
+        // level (an odd leftover passes through untouched), so a span
+        // of E epochs rewrites each attack's merged state O(log E)
+        // times instead of the left fold's O(E). Every merge still
+        // joins adjacent spans, and merge is associative (the epoch
+        // equivalence suite proves it), so the result is bit-identical.
+        // One `FoldScratch` serves every merge of the fold.
+        let mut built = built;
+        let mut scratch = FoldScratch::default();
+        while built.len() > 1 {
+            let mut next_level = Vec::with_capacity(built.len().div_ceil(2));
+            let mut it = built.into_iter();
+            while let Some(a) = it.next() {
+                next_level.push(match it.next() {
+                    Some(b) => {
+                        let _span = obs.span("epoch/merge");
+                        a.merge_scratch(b, &mut scratch).0
+                    }
+                    None => a,
+                });
+            }
+            built = next_level;
+        }
         let folded = built
             .into_iter()
-            .reduce(|a, b| {
-                let _span = obs.span("epoch/merge");
-                a.merge(b).0
-            })
+            .next()
             .expect("a dataset always has at least one shard");
         let ctx = {
             let _span = obs.span("context");
-            folded.into_context(ds, opts.spec)
+            folded
+                .into_context(ds, opts.spec)
+                .with_kernels(opts.kernels)
         };
         let partial = passes::execute(&ctx, opts.parallel, &obs);
         let mut report = {
@@ -334,6 +364,9 @@ pub struct IncrementalPipeline<'a> {
     next: usize,
     acc: Option<EpochContext>,
     partial: PartialReport,
+    /// Radix workspace and fix-up buffers, reused across appends so the
+    /// steady-state append allocates no fresh sort scratch.
+    scratch: FoldScratch,
 }
 
 impl<'a> IncrementalPipeline<'a> {
@@ -355,6 +388,7 @@ impl<'a> IncrementalPipeline<'a> {
             next: 0,
             acc: None,
             partial: PartialReport::default(),
+            scratch: FoldScratch::default(),
         }
     }
 
@@ -379,7 +413,7 @@ impl<'a> IncrementalPipeline<'a> {
         let epoch = self.next;
         let shard = self.shards.get(epoch)?;
         self.next += 1;
-        let built = EpochContext::build(shard, &self.obs);
+        let built = EpochContext::build_scratch(shard, &self.obs, &mut self.scratch);
         let attacks = built.len();
         let mut parts: Vec<CtxPart> = Vec::new();
         let acc = match self.acc.take() {
@@ -398,7 +432,7 @@ impl<'a> IncrementalPipeline<'a> {
             Some(prev) => {
                 let (merged, delta) = {
                     let _span = self.obs.span("epoch/merge");
-                    prev.merge(built)
+                    prev.merge_scratch(built, &mut self.scratch)
                 };
                 if delta.appended_attacks > 0 {
                     parts.extend([
@@ -432,6 +466,7 @@ impl<'a> IncrementalPipeline<'a> {
             let ctx = {
                 let _span = self.obs.span("epoch/materialize");
                 acc.to_context(self.ds, self.opts.spec)
+                    .with_kernels(self.opts.kernels)
             };
             passes::execute_filtered(
                 &ctx,

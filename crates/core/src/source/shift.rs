@@ -12,6 +12,7 @@ use std::collections::{HashMap, HashSet};
 use ddos_schema::{CountryCode, Dataset, Family, IpAddr4};
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::{cc_slot, KernelPolicy, CC_SLOTS};
 use crate::util::BotIndex;
 
 /// One week's aggregated shift counts (Fig. 8's stacked bars).
@@ -66,7 +67,11 @@ impl ShiftAnalysis {
         let num_weeks = ctx.dataset.window().num_weeks();
         let mut weeks = Self::empty_weeks(num_weeks);
         for fc in ctx.families() {
-            Self::classify_family(&mut weeks, &fc.weekly_bots);
+            if ctx.kernels.is_reference() {
+                Self::classify_family(&mut weeks, &fc.weekly_bots);
+            } else {
+                Self::classify_family_dense(&mut weeks, &fc.weekly_bots, ctx.kernels);
+            }
         }
         ShiftAnalysis { weeks }
     }
@@ -105,6 +110,52 @@ impl ShiftAnalysis {
                 }
             }
             seen.extend(bots_this_week.values().copied());
+        }
+    }
+
+    /// The chunked shift kernel: same classification as
+    /// [`ShiftAnalysis::classify_family`], restated over a dense
+    /// per-(week, country) count grid. One chunked pass over the weekly
+    /// maps (the expensive hash iteration) accumulates the grid — pure
+    /// integer adds into disjoint `(week, country)` cells, so any
+    /// chunking merges to the same counts — and the classification then
+    /// runs on the grid alone: a country's bots count as "new" exactly
+    /// in its first active week, which is the set-based rule restated.
+    fn classify_family_dense<S: std::hash::BuildHasher>(
+        weeks: &mut [WeekShift],
+        weekly: &[HashMap<IpAddr4, CountryCode, S>],
+        policy: KernelPolicy,
+    ) {
+        let mut counts = vec![0u32; weekly.len() * CC_SLOTS];
+        for range in policy.chunks(weekly.len()) {
+            for w in range {
+                let row = &mut counts[w * CC_SLOTS..(w + 1) * CC_SLOTS];
+                for &cc in weekly[w].values() {
+                    row[cc_slot(cc)] += 1;
+                }
+            }
+        }
+        const UNSEEN: u32 = u32::MAX;
+        let mut first = [UNSEEN; CC_SLOTS];
+        for w in 0..weekly.len() {
+            for (slot, first_week) in first.iter_mut().enumerate() {
+                if counts[w * CC_SLOTS + slot] > 0 {
+                    *first_week = (*first_week).min(w as u32);
+                }
+            }
+        }
+        for w in 0..weekly.len() {
+            for (slot, &first_week) in first.iter().enumerate() {
+                let c = counts[w * CC_SLOTS + slot] as usize;
+                if c == 0 {
+                    continue;
+                }
+                if first_week == w as u32 {
+                    weeks[w].new_country_bots += c;
+                } else {
+                    weeks[w].existing_country_bots += c;
+                }
+            }
         }
     }
 
@@ -198,6 +249,35 @@ mod tests {
         let s = ShiftAnalysis::compute(&ds, &idx);
         assert_eq!(s.regionalization_ratio(), None);
         assert_eq!(s.total_existing() + s.total_new(), 0);
+    }
+
+    #[test]
+    fn dense_kernel_matches_set_classifier_for_every_chunking() {
+        // Weeks with repeats, gaps, and same-week multi-country mixes.
+        let cc = |s: &str| -> CountryCode { s.parse().unwrap() };
+        let ip = |n: u8| IpAddr4::from_octets(10, 0, 0, n);
+        let weekly: Vec<HashMap<IpAddr4, CountryCode>> = vec![
+            [(ip(1), cc("RU")), (ip(2), cc("RU")), (ip(3), cc("UA"))]
+                .into_iter()
+                .collect(),
+            HashMap::new(),
+            [(ip(1), cc("RU")), (ip(4), cc("DE")), (ip(5), cc("DE"))]
+                .into_iter()
+                .collect(),
+            [(ip(3), cc("UA")), (ip(6), cc("BR"))].into_iter().collect(),
+        ];
+        let mut expect = ShiftAnalysis::empty_weeks(weekly.len());
+        ShiftAnalysis::classify_family(&mut expect, &weekly);
+        for policy in [
+            KernelPolicy::Auto,
+            KernelPolicy::Chunked(1),
+            KernelPolicy::Chunked(3),
+            KernelPolicy::Chunked(100),
+        ] {
+            let mut got = ShiftAnalysis::empty_weeks(weekly.len());
+            ShiftAnalysis::classify_family_dense(&mut got, &weekly, policy);
+            assert_eq!(got, expect, "{policy:?}");
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@ use std::collections::HashMap;
 use ddos_schema::{CountryCode, Dataset, Family};
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::{cc_of_slot, cc_slot, CC_SLOTS};
+
 /// One family's victim-country ranking.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FamilyCountryProfile {
@@ -69,8 +71,78 @@ pub fn overall_top_countries(ds: &Dataset, k: usize) -> Vec<(CountryCode, usize)
     ranked
 }
 
+/// The chunked profile kernel behind [`all_profiles`]: one scan over
+/// the trace accumulates a dense `(family, country)` count grid as
+/// per-chunk integer partials (disjoint cells, so any chunking merges
+/// to the same counts), replacing the reference path's one full-trace
+/// scan *per family*. Ranking then runs on the grid alone, with the
+/// same total order as [`all_profiles`] — identical profiles.
+pub fn all_profiles_ctx(ctx: &crate::context::AnalysisContext) -> Vec<FamilyCountryProfile> {
+    if ctx.kernels.is_reference() {
+        return all_profiles(ctx.dataset);
+    }
+    let attacks = ctx.dataset.attacks();
+    // `Family::ACTIVE` lists the variants in discriminant order, so the
+    // discriminant doubles as the row index.
+    let mut grid = vec![0u32; Family::ACTIVE.len() * CC_SLOTS];
+    for range in ctx.kernels.chunks(attacks.len()) {
+        for a in &attacks[range] {
+            if a.family.is_active() {
+                grid[(a.family as usize) * CC_SLOTS + cc_slot(a.target.country)] += 1;
+            }
+        }
+    }
+    Family::ACTIVE
+        .into_iter()
+        .enumerate()
+        .map(|(row, family)| {
+            let by_country = rank_dense(&grid[row * CC_SLOTS..(row + 1) * CC_SLOTS]);
+            FamilyCountryProfile {
+                family,
+                countries: by_country.len(),
+                by_country,
+            }
+        })
+        .collect()
+}
+
+/// The chunked kernel behind [`overall_top_countries`]: the same dense
+/// count grid over a single country row.
+pub fn overall_top_countries_ctx(
+    ctx: &crate::context::AnalysisContext,
+    k: usize,
+) -> Vec<(CountryCode, usize)> {
+    if ctx.kernels.is_reference() {
+        return overall_top_countries(ctx.dataset, k);
+    }
+    let attacks = ctx.dataset.attacks();
+    let mut row = vec![0u32; CC_SLOTS];
+    for range in ctx.kernels.chunks(attacks.len()) {
+        for a in &attacks[range] {
+            row[cc_slot(a.target.country)] += 1;
+        }
+    }
+    let mut ranked = rank_dense(&row);
+    ranked.truncate(k);
+    ranked
+}
+
 fn rank(counts: HashMap<CountryCode, usize>) -> Vec<(CountryCode, usize)> {
     let mut ranked: Vec<(CountryCode, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// Ranks the non-zero cells of a dense country row with the exact
+/// comparator of [`rank`] — same `(country, count)` set, same total
+/// order, so the output matches the hash-map path entry for entry.
+fn rank_dense(row: &[u32]) -> Vec<(CountryCode, usize)> {
+    let mut ranked: Vec<(CountryCode, usize)> = row
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(slot, &n)| (cc_of_slot(slot), n as usize))
+        .collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked
 }
@@ -106,6 +178,37 @@ mod tests {
         ]);
         let top = overall_top_countries(&ds, 5);
         assert_eq!(top.iter().map(|&(_, n)| n).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn dense_kernels_match_hash_ranking_for_every_chunking() {
+        use crate::kernels::KernelPolicy;
+        // Ties (two countries with one attack each) exercise the
+        // comparator's country-code tiebreak.
+        let ds = dataset(vec![
+            attack(Family::Dirtjumper, 1, 100, 60, 1),
+            attack(Family::Dirtjumper, 2, 200, 60, 1),
+            attack(Family::Dirtjumper, 3, 300, 60, 2),
+            attack(Family::Pandora, 4, 400, 60, 3),
+            attack(Family::Yzf, 5, 500, 60, 2),
+        ]);
+        let expect_profiles = serde_json::to_string(&all_profiles(&ds)).unwrap();
+        let expect_top = overall_top_countries(&ds, 3);
+        for policy in [
+            KernelPolicy::Reference,
+            KernelPolicy::Auto,
+            KernelPolicy::Chunked(1),
+            KernelPolicy::Chunked(2),
+            KernelPolicy::Chunked(100),
+        ] {
+            let ctx = crate::context::AnalysisContext::new(&ds).with_kernels(policy);
+            assert_eq!(
+                serde_json::to_string(&all_profiles_ctx(&ctx)).unwrap(),
+                expect_profiles,
+                "{policy:?}"
+            );
+            assert_eq!(overall_top_countries_ctx(&ctx, 3), expect_top, "{policy:?}");
+        }
     }
 
     #[test]

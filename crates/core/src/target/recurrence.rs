@@ -9,9 +9,11 @@
 use std::collections::HashMap;
 
 use ddos_schema::{Dataset, Family, IpAddr4, Timestamp};
-use ddos_stats::descriptive::median;
+use ddos_stats::descriptive::{median, quantile_sorted};
 use ddos_stats::ecdf::Ecdf;
 use serde::{Deserialize, Serialize};
+
+use crate::kernels::KernelPolicy;
 
 /// Minimum attacks a target needs before it forms a train.
 pub const MIN_TRAIN_LEN: usize = 4;
@@ -129,7 +131,11 @@ impl RecurrenceAnalysis {
             })
             .collect();
         trains.sort_by(|a, b| b.len().cmp(&a.len()).then(a.target.cmp(&b.target)));
-        let outcomes = score_trains(&trains);
+        let outcomes = if ctx.kernels.is_reference() {
+            score_trains(&trains)
+        } else {
+            score_trains_kernel(&trains, ctx.kernels)
+        };
         RecurrenceAnalysis { trains, outcomes }
     }
 
@@ -195,6 +201,46 @@ fn score_trains(trains: &[TargetTrain]) -> Vec<PredictionOutcome> {
     outcomes
 }
 
+/// The chunked prediction kernel: scores the same walk as
+/// [`score_trains`] but keeps the gap prefix in one incrementally
+/// maintained sorted buffer instead of re-cloning and re-sorting it at
+/// every step. The reference's `median(&gaps[..i-1])` reads values by
+/// rank from the ascending prefix multiset; insertion by
+/// `partition_point` maintains exactly that multiset, so every median
+/// (duplicates included) is bit-identical. Trains are independent, so
+/// per-chunk outcome runs concatenated in chunk order reproduce the
+/// sequential outcome order for any chunking.
+fn score_trains_kernel(trains: &[TargetTrain], policy: KernelPolicy) -> Vec<PredictionOutcome> {
+    let mut outcomes = Vec::new();
+    let mut sorted: Vec<f64> = Vec::new();
+    for range in policy.chunks(trains.len()) {
+        for train in &trains[range] {
+            sorted.clear();
+            let starts = &train.starts;
+            for i in (MIN_TRAIN_LEN - 1)..starts.len() {
+                while sorted.len() < i - 1 {
+                    let j = sorted.len();
+                    let gap = (starts[j + 1].0 - starts[j].0) as f64;
+                    let pos = sorted.partition_point(|&x| x < gap);
+                    sorted.insert(pos, gap);
+                }
+                let median_gap = quantile_sorted(&sorted, 0.5);
+                let predicted = Timestamp(starts[i - 1].0 + median_gap.round() as i64);
+                let actual = starts[i];
+                let abs_error_s = (actual.0 - predicted.0).abs() as f64;
+                outcomes.push(PredictionOutcome {
+                    target: train.target,
+                    predicted,
+                    actual,
+                    abs_error_s,
+                    relative_error: abs_error_s / median_gap.max(1.0),
+                });
+            }
+        }
+    }
+    outcomes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +298,32 @@ mod tests {
         assert!(rec.error_cdf().is_none());
         assert!(rec.median_abs_error().is_none());
         assert_eq!(rec.fraction_within(1.0), 0.0);
+    }
+
+    #[test]
+    fn kernel_scorer_matches_reference_for_every_chunking() {
+        // Irregular gaps (duplicates, zero gaps, mixed magnitudes)
+        // across trains of different lengths.
+        let train = |target: u8, starts: Vec<i64>| TargetTrain {
+            target: IpAddr4::from_octets(192, 0, 2, target),
+            starts: starts.into_iter().map(Timestamp).collect(),
+            families: vec![Family::Dirtjumper],
+        };
+        let trains = vec![
+            train(1, vec![0, 10, 10, 35, 36, 90, 90, 1_000]),
+            train(2, vec![5, 1_005, 2_005, 3_200, 3_200]),
+            train(3, vec![0, 1, 2, 3]),
+        ];
+        let expect = serde_json::to_string(&score_trains(&trains)).unwrap();
+        for policy in [
+            KernelPolicy::Auto,
+            KernelPolicy::Chunked(1),
+            KernelPolicy::Chunked(2),
+            KernelPolicy::Chunked(100),
+        ] {
+            let got = serde_json::to_string(&score_trains_kernel(&trains, policy)).unwrap();
+            assert_eq!(got, expect, "{policy:?}");
+        }
     }
 
     #[test]

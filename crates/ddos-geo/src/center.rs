@@ -223,18 +223,46 @@ pub fn dispersion_precomp(points: &[PointTrig]) -> Option<Dispersion> {
 /// # Panics
 /// If any row index is out of bounds for `col`.
 pub fn dispersion_precomp_indexed(col: &[PointTrig], rows: &[u32]) -> Option<Dispersion> {
+    let mut sum = CenterSum::default();
+    for &r in rows {
+        sum.push(&col[r as usize]);
+    }
+    finish_presummed(col, rows, sum)
+}
+
+/// Running three-component center sum — the first pass of
+/// [`dispersion_precomp_indexed`] exposed as a fold, so a caller can
+/// fuse it element-for-element with another sweep over the same rows
+/// (the analysis context's family resolver folds its weekly-population
+/// stamping into the same loop). Push order must be row-list order;
+/// [`dispersion_precomp_indexed_presummed`] then consumes the sum with
+/// the one-call kernel's exact expressions, so a fused caller stays
+/// bit-identical to the one-call path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CenterSum {
+    x: f64,
+    y: f64,
+    z: f64,
+}
+
+impl CenterSum {
+    /// Folds one point into the center sum.
+    #[inline]
+    pub fn push(&mut self, p: &PointTrig) {
+        self.x += p.cos_lat * p.cos_lon;
+        self.y += p.cos_lat * p.sin_lon;
+        self.z += p.sin_lat;
+    }
+}
+
+/// The shared second half of the indexed kernels: resolve the center
+/// from the folded sum, then the signed-distance pass over the rows.
+fn finish_presummed(col: &[PointTrig], rows: &[u32], sum: CenterSum) -> Option<Dispersion> {
     if rows.is_empty() {
         return None;
     }
-    let (mut x, mut y, mut z) = (0.0f64, 0.0f64, 0.0f64);
-    for &r in rows {
-        let p = &col[r as usize];
-        x += p.cos_lat * p.cos_lon;
-        y += p.cos_lat * p.sin_lon;
-        z += p.sin_lat;
-    }
     let n = rows.len() as f64;
-    let (x, y, z) = (x / n, y / n, z / n);
+    let (x, y, z) = (sum.x / n, sum.y / n, sum.z / n);
     let norm = (x * x + y * y + z * z).sqrt();
     if norm < 1e-12 {
         return None;
@@ -298,6 +326,28 @@ pub fn dispersion_precomp_indexed_counted(
         .points
         .fetch_add(rows.len() as u64, Ordering::Relaxed);
     let d = dispersion_precomp_indexed(col, rows);
+    if d.is_none() {
+        counters.degenerate.fetch_add(1, Ordering::Relaxed);
+    }
+    d
+}
+
+/// [`dispersion_precomp_indexed_counted`] for a caller that already
+/// folded the center pass into its own sweep over `rows` (as a
+/// [`CenterSum`]): runs the remaining center resolution and the
+/// signed-distance pass, tallying the same counters. Bit-identical to
+/// the one-call kernel when the sum was pushed in row-list order.
+pub fn dispersion_precomp_indexed_presummed(
+    col: &[PointTrig],
+    rows: &[u32],
+    sum: CenterSum,
+    counters: &KernelCounters,
+) -> Option<Dispersion> {
+    counters.snapshots.fetch_add(1, Ordering::Relaxed);
+    counters
+        .points
+        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+    let d = finish_presummed(col, rows, sum);
     if d.is_none() {
         counters.degenerate.fetch_add(1, Ordering::Relaxed);
     }

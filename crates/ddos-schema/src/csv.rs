@@ -34,10 +34,9 @@ where
     out.push_str(HEADER);
     out.push('\n');
     for a in attacks {
-        let sources: Vec<String> = a.sources.iter().map(|ip| ip.to_string()).collect();
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},",
             a.id.value(),
             a.botnet.value(),
             a.family.name(),
@@ -51,8 +50,14 @@ where
             a.target.org.value(),
             a.target.coords.lat,
             a.target.coords.lon,
-            sources.join(" "),
         );
+        for (i, ip) in a.sources.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{ip}");
+        }
+        out.push('\n');
     }
     out
 }

@@ -5,7 +5,9 @@
 //! rest of the integration suite analyzes). One table-driven test runs
 //! the pipeline every way it can be run — parallel, serial, telemetry
 //! off, the pass scheduler over a columnar or reference-built context,
-//! the pre-refactor monolithic baseline, and the epoch-sharded engine
+//! the pre-refactor monolithic baseline, every kernel policy (the PR 6
+//! reference bodies, intra-pass parallelism forced on via fixed chunk
+//! sizes), and the epoch-sharded engine
 //! (batch fold, incremental append, streaming feed replay) — and asserts each variant's
 //! serialized report matches the committed digest byte for byte.
 //!
@@ -22,7 +24,7 @@
 
 use std::sync::OnceLock;
 
-use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions, StreamFold};
+use ddos_analytics::{AnalysisContext, AnalysisReport, KernelPolicy, PipelineOptions, StreamFold};
 use ddos_obs::{fnv1a_64_hex, Obs};
 use ddos_schema::Seconds;
 use ddos_sim::{generate, GeneratedTrace, SimConfig};
@@ -87,6 +89,36 @@ fn every_pipeline_variant_matches_the_golden_digest() {
             AnalysisReport::run_on(
                 &AnalysisContext::build_reference(ds, ArimaSpec::DEFAULT),
                 false,
+            ),
+        ),
+        (
+            "reference kernel policy (PR 6 pass bodies)",
+            AnalysisReport::run_opts(
+                ds,
+                PipelineOptions {
+                    kernels: KernelPolicy::Reference,
+                    ..PipelineOptions::default()
+                },
+            ),
+        ),
+        (
+            "intra-pass parallelism forced on (chunk size 1)",
+            AnalysisReport::run_opts(
+                ds,
+                PipelineOptions {
+                    kernels: KernelPolicy::Chunked(1),
+                    ..PipelineOptions::default()
+                },
+            ),
+        ),
+        (
+            "intra-pass parallelism forced on (chunk size 3)",
+            AnalysisReport::run_opts(
+                ds,
+                PipelineOptions {
+                    kernels: KernelPolicy::Chunked(3),
+                    ..PipelineOptions::default()
+                },
             ),
         ),
         (
