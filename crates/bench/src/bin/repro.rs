@@ -17,6 +17,9 @@
 //! repro --pass-bench    # time each pass body reference vs chunked-kernel,
 //!                       # emit BENCH_passes.json
 //! repro --pass-bench --smoke  # same on the small trace (CI mode)
+//! repro --ingest-bench  # time v1 serial vs framed v2 decode and serial
+//!                       # vs chunked CSV parse, emit BENCH_ingest.json
+//! repro --ingest-bench --smoke  # same on the small trace (CI mode)
 //! repro --telemetry-json FILE  # write the run's span/metric telemetry
 //! repro --report-digest # print the golden-trace report digest
 //! ```
@@ -28,7 +31,7 @@ use ddos_analytics::{
 };
 use ddos_obs::Obs;
 use ddos_report::{compare, paper_comparisons, render, EXPERIMENTS};
-use ddos_schema::Seconds;
+use ddos_schema::{codec, csv, framed, Seconds};
 use ddos_sim::{generate, SimConfig};
 use ddos_stats::ArimaSpec;
 
@@ -40,6 +43,7 @@ fn main() {
     let mut ctx_bench = false;
     let mut epoch_bench = false;
     let mut pass_bench = false;
+    let mut ingest_bench = false;
     let mut smoke = false;
     let mut report_digest = false;
     let mut out_dir: Option<String> = None;
@@ -62,6 +66,7 @@ fn main() {
             "--ctx-bench" => ctx_bench = true,
             "--epoch-bench" => epoch_bench = true,
             "--pass-bench" => pass_bench = true,
+            "--ingest-bench" => ingest_bench = true,
             "--smoke" => smoke = true,
             "--report-digest" => report_digest = true,
             "--list" => {
@@ -84,6 +89,10 @@ fn main() {
     }
     if pass_bench {
         run_pass_bench(scale, smoke);
+        return;
+    }
+    if ingest_bench {
+        run_ingest_bench(scale, smoke);
         return;
     }
     if pipeline_bench {
@@ -742,6 +751,183 @@ fn run_pass_bench(scale: f64, smoke: bool) {
     );
     std::fs::write("BENCH_passes.json", &out).expect("writing BENCH_passes.json");
     eprintln!("wrote BENCH_passes.json");
+}
+
+/// Times trace ingest across the v1 serial codec, the framed v2
+/// container, and the CSV importer (serial vs chunked), and writes
+/// `BENCH_ingest.json` (in smoke mode too, flagged `"smoke": true`).
+///
+/// Correctness gates run before any timing, in smoke mode too: the v1
+/// decode, the v2 decode (auto and forced multi-worker), and the
+/// memory-mapped [`Dataset::open`] of both on-disk formats must all
+/// yield bit-identical datasets (pinned by re-encoding through the v1
+/// codec), and the chunked CSV parse must match the serial parse row
+/// for row. In full mode the run additionally hard-asserts the framed
+/// v2 decode beats the v1 serial decode by >= 2x.
+fn run_ingest_bench(scale: f64, smoke: bool) {
+    let cfg = if smoke {
+        SimConfig::small()
+    } else {
+        SimConfig {
+            scale,
+            ..SimConfig::default()
+        }
+    };
+    eprintln!("generating trace (scale {})...", cfg.scale);
+    let trace = generate(&cfg);
+    let ds = &trace.dataset;
+    eprintln!("generated {} attacks", ds.len());
+
+    let v1 = codec::encode(ds);
+    let v2 = framed::encode(ds);
+
+    // Correctness first: every ingest path must reproduce the dataset
+    // bit for bit. Re-encoding through the v1 codec is the canonical
+    // fingerprint — identical bytes mean identical records in
+    // identical order.
+    let fingerprint = |d: &ddos_schema::Dataset| codec::encode(d);
+    let d1 = codec::decode(&v1).expect("v1 decode");
+    assert_eq!(fingerprint(&d1), v1, "v1 round trip diverged");
+    let (d2, stats) = framed::decode_with_stats(&v2).expect("v2 decode");
+    assert_eq!(fingerprint(&d2), v1, "framed v2 decode diverged from v1");
+    let (d2mt, _) = framed::decode_with_workers(&v2, 4).expect("v2 multi-worker decode");
+    assert_eq!(
+        fingerprint(&d2mt),
+        v1,
+        "multi-worker v2 decode diverged from serial"
+    );
+    let dir = std::env::temp_dir();
+    let p1 = dir.join("repro_ingest_v1.ddtl");
+    let p2 = dir.join("repro_ingest_v2.ddtl");
+    std::fs::write(&p1, &v1).expect("writing v1 temp trace");
+    std::fs::write(&p2, &v2).expect("writing v2 temp trace");
+    for p in [&p1, &p2] {
+        let d = ddos_schema::Dataset::open(p).expect("mmap open");
+        assert_eq!(
+            fingerprint(&d),
+            v1,
+            "mmap decode of {} diverged",
+            p.display()
+        );
+    }
+    eprintln!("decode equivalence: v1 == v2 == v2(workers=4) == mmap(v1) == mmap(v2)");
+
+    let csv_text = csv::attacks_to_csv(ds.attacks());
+    let serial = csv::attacks_from_csv(&csv_text).expect("serial CSV parse");
+    let chunked = csv::attacks_from_csv_chunked_with(&csv_text, 4).expect("chunked CSV parse");
+    assert_eq!(serial, chunked, "chunked CSV parse diverged from serial");
+    assert_eq!(
+        serial.as_slice(),
+        ds.attacks(),
+        "CSV round trip diverged from the original records"
+    );
+    eprintln!("csv equivalence: serial == chunked == original records");
+
+    // Interleaved best-of-N: one warm-up pass of every path, then each
+    // round times every path back to back so cache and allocator state
+    // stay comparable.
+    let rounds = if smoke { 1 } else { 5 };
+    drop(std::hint::black_box(codec::decode(&v1).unwrap()));
+    drop(std::hint::black_box(framed::decode(&v2).unwrap()));
+    drop(std::hint::black_box(
+        ddos_schema::Dataset::open(&p2).unwrap(),
+    ));
+    drop(std::hint::black_box(
+        csv::attacks_from_csv(&csv_text).unwrap(),
+    ));
+    drop(std::hint::black_box(
+        csv::attacks_from_csv_chunked(&csv_text).unwrap(),
+    ));
+    let mut v1_s = f64::MAX;
+    let mut v2_s = f64::MAX;
+    let mut mmap_s = f64::MAX;
+    let mut csv_serial_s = f64::MAX;
+    let mut csv_chunked_s = f64::MAX;
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        let d = codec::decode(&v1).unwrap();
+        v1_s = v1_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(d));
+
+        let t = std::time::Instant::now();
+        let d = framed::decode(&v2).unwrap();
+        v2_s = v2_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(d));
+
+        let t = std::time::Instant::now();
+        let d = ddos_schema::Dataset::open(&p2).unwrap();
+        mmap_s = mmap_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(d));
+
+        let t = std::time::Instant::now();
+        let r = csv::attacks_from_csv(&csv_text).unwrap();
+        csv_serial_s = csv_serial_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(r));
+
+        let t = std::time::Instant::now();
+        let r = csv::attacks_from_csv_chunked(&csv_text).unwrap();
+        csv_chunked_s = csv_chunked_s.min(t.elapsed().as_secs_f64());
+        drop(std::hint::black_box(r));
+    }
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+
+    let decode_speedup = v1_s / v2_s;
+    let csv_speedup = csv_serial_s / csv_chunked_s;
+    println!("ingest (best of {rounds}):");
+    println!(
+        "  trace: {} attacks, v1 {} KiB, v2 {} KiB in {} frames",
+        ds.len(),
+        v1.len() / 1024,
+        v2.len() / 1024,
+        stats.frames
+    );
+    println!("  v1 serial decode:   {:>10.6} s", v1_s);
+    println!(
+        "  v2 framed decode:   {:>10.6} s  ({decode_speedup:.2}x vs v1, {} workers)",
+        v2_s, stats.workers
+    );
+    println!("  v2 mmap open:       {:>10.6} s", mmap_s);
+    println!("  csv serial parse:   {:>10.6} s", csv_serial_s);
+    println!(
+        "  csv chunked parse:  {:>10.6} s  ({csv_speedup:.2}x vs serial)",
+        csv_chunked_s
+    );
+    if !smoke {
+        assert!(
+            decode_speedup >= 2.0,
+            "framed v2 decode speedup is {decode_speedup:.2}x \
+             ({v2_s:.6} s vs {v1_s:.6} s), under the 2x target"
+        );
+    }
+
+    let out = format!(
+        "{{\n  \"smoke\": {},\n  \"trace\": {{\n    \"scale\": {},\n    \
+         \"attacks\": {},\n    \"v1_bytes\": {},\n    \"v2_bytes\": {},\n    \
+         \"v2_frames\": {}\n  }},\n  \"rounds\": {},\n  \"decode\": {{\n    \
+         \"v1_serial_s\": {:.6},\n    \"v2_framed_s\": {:.6},\n    \
+         \"v2_mmap_open_s\": {:.6},\n    \"workers\": {},\n    \
+         \"speedup\": {:.3}\n  }},\n  \"csv\": {{\n    \
+         \"serial_s\": {:.6},\n    \"chunked_s\": {:.6},\n    \
+         \"speedup\": {:.3}\n  }}\n}}\n",
+        smoke,
+        cfg.scale,
+        ds.len(),
+        v1.len(),
+        v2.len(),
+        stats.frames,
+        rounds,
+        v1_s,
+        v2_s,
+        mmap_s,
+        stats.workers,
+        decode_speedup,
+        csv_serial_s,
+        csv_chunked_s,
+        csv_speedup,
+    );
+    std::fs::write("BENCH_ingest.json", &out).expect("writing BENCH_ingest.json");
+    eprintln!("wrote BENCH_ingest.json");
 }
 
 /// Prints the FNV-1a 64 digest of the golden trace's full report — the

@@ -87,7 +87,10 @@ impl BlacklistSim {
     ///
     /// [`SourceTable`]: crate::columnar::SourceTable
     pub fn run_ctx(ctx: &crate::context::AnalysisContext) -> BlacklistSim {
-        if ctx.kernels.is_reference() {
+        // The fused sweep measured slower than the two-pass reference
+        // replay (BENCH_passes.json, 0.92x), so Auto routes here too;
+        // only an explicit Chunked(_) forces the fused kernel on.
+        if !ctx.kernels.forced_chunked() {
             return Self::run_ctx_reference(ctx);
         }
         let attacks = ctx.dataset.attacks();

@@ -10,10 +10,15 @@
 //!   kept verbatim as the in-binary baseline the equivalence suite and
 //!   `repro --pass-bench` hold the kernels bit-equal to.
 //! * [`KernelPolicy::Auto`] — chunked kernels, one chunk per available
-//!   worker (the default).
+//!   worker (the default). Two passes are exceptions: `blacklist` and
+//!   `interval_stats` measured *slower* chunked than reference
+//!   (BENCH_passes.json, 0.92x), so under `Auto` those route to their
+//!   reference bodies and are never a regression.
 //! * [`KernelPolicy::Chunked`] — chunked kernels with a fixed chunk
 //!   length, the override the proptests use to force degenerate
-//!   chunkings (size 1, size larger than the input).
+//!   chunkings (size 1, size larger than the input). Forces the
+//!   chunked body on for every gated pass, including the two `Auto`
+//!   routes back to reference.
 
 use std::ops::Range;
 
@@ -36,6 +41,16 @@ impl KernelPolicy {
     /// Whether this policy selects the reference pass bodies.
     pub fn is_reference(self) -> bool {
         matches!(self, KernelPolicy::Reference)
+    }
+
+    /// Whether chunked execution was explicitly forced on. Passes whose
+    /// chunked kernel measured slower than its reference body
+    /// (`blacklist`, `interval_stats`) run the reference body unless
+    /// this is true, so `Auto` is never slower than `Reference` on any
+    /// pass while `Chunked(_)` still exercises every kernel for the
+    /// equivalence suites.
+    pub fn forced_chunked(self) -> bool {
+        matches!(self, KernelPolicy::Chunked(_))
     }
 
     /// The contiguous chunk ranges this policy cuts an input of `len`

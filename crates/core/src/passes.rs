@@ -207,11 +207,14 @@ fn pass_interval_stats(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> P
             .iter()
             .map(|fc| {
                 let ivs = starts_to_intervals(&fc.starts);
-                record_kernel_chunks(ctx, obs, ivs.len());
-                let stats = if ctx.kernels.is_reference() {
-                    IntervalStats::compute(&ivs)
-                } else {
+                // The scalar interval fold measured slower chunked than
+                // reference, so Auto routes to the reference body; only
+                // an explicit Chunked(_) forces the kernel on.
+                let stats = if ctx.kernels.forced_chunked() {
+                    record_kernel_chunks(ctx, obs, ivs.len());
                     IntervalStats::compute_kernel(&ivs, ctx.kernels)
+                } else {
+                    IntervalStats::compute(&ivs)
                 };
                 (fc.family, stats)
             })
@@ -301,7 +304,12 @@ fn pass_recurrence(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassO
 
 fn pass_blacklist(ctx: &AnalysisContext, _: &PartialReport, obs: &Obs) -> PassOutput {
     let _k = obs.span("kernels/blacklist");
-    record_kernel_chunks(ctx, obs, ctx.target_timelines.len());
+    // Auto routes this pass to the reference replay (see
+    // `BlacklistSim::run_ctx`), so only a forced chunking runs — and
+    // records — the fused kernel.
+    if ctx.kernels.forced_chunked() {
+        record_kernel_chunks(ctx, obs, ctx.target_timelines.len());
+    }
     PassOutput::Blacklist(BlacklistSim::run_ctx(ctx))
 }
 

@@ -145,6 +145,15 @@ impl AnalysisReport {
         )
     }
 
+    /// Opens a binary trace file (`DDTL` v1 or v2 — memory-mapped, with
+    /// framed v2 inputs decoded in parallel) and runs the full pipeline
+    /// on it with default options.
+    pub fn run_path(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<AnalysisReport, ddos_schema::SchemaError> {
+        Ok(Self::run(&Dataset::open(path)?))
+    }
+
     /// Runs the pass-based pipeline with explicit options. The
     /// `parallel` flag governs both the context build (chunked
     /// per-family fan-out over the columnar substrate) and the pass
@@ -155,11 +164,20 @@ impl AnalysisReport {
         } else {
             Obs::disabled()
         };
+        Self::run_obs(ds, opts, &obs)
+    }
+
+    /// Like [`AnalysisReport::run_opts`], but records into a
+    /// caller-supplied [`Obs`]. Loaders use this to land their ingest
+    /// telemetry (`ingest/frame_decode`, `ingest/bytes`, ...) in the
+    /// same [`RunTelemetry`] as the analysis spans; `opts.telemetry` is
+    /// ignored in favour of the recorder's own enabled state.
+    pub fn run_obs(ds: &Dataset, opts: PipelineOptions, obs: &Obs) -> AnalysisReport {
         let ctx = {
             let _span = obs.span("context");
-            AnalysisContext::build_kernels(ds, opts.spec, opts.parallel, opts.kernels, &obs)
+            AnalysisContext::build_kernels(ds, opts.spec, opts.parallel, opts.kernels, obs)
         };
-        let partial = passes::execute(&ctx, opts.parallel, &obs);
+        let partial = passes::execute(&ctx, opts.parallel, obs);
         let mut report = {
             let _span = obs.span("assemble");
             assemble(partial)

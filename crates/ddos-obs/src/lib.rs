@@ -31,6 +31,7 @@
 
 pub mod digest;
 pub mod metrics;
+pub mod names;
 pub mod span;
 pub mod telemetry;
 

@@ -1,0 +1,21 @@
+//! Canonical metric and span names shared across crates.
+//!
+//! The ingest layer lives in `ddos-schema`, which stays free of an
+//! `ddos-obs` dependency (telemetry must never be able to perturb
+//! decoding); loaders (`ddoslab`, `repro`) record ingest telemetry
+//! themselves from the `IngestStats` the decoders return, under the
+//! names pinned here so dashboards and snapshot tests agree on
+//! spelling.
+
+/// Span covering one binary trace decode (v1 serial or v2 framed).
+pub const INGEST_FRAME_DECODE: &str = "ingest/frame_decode";
+/// Gauge: size in bytes of the last binary trace ingested.
+pub const INGEST_BYTES: &str = "ingest/bytes";
+/// Histogram: frames per decoded binary trace (1 for v1 inputs).
+pub const INGEST_FRAMES: &str = "ingest/frames";
+/// Gauge: decode workers used by the last binary trace ingest.
+pub const INGEST_WORKERS: &str = "ingest/workers";
+/// Span covering one CSV attack import.
+pub const INGEST_CSV_PARSE: &str = "ingest/csv_parse";
+/// Histogram: attack rows per CSV import.
+pub const INGEST_CSV_ROWS: &str = "ingest/csv_rows";

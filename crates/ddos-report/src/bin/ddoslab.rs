@@ -15,8 +15,33 @@
 use std::process::ExitCode;
 
 use ddos_analytics::{AnalysisReport, PipelineOptions};
-use ddos_schema::{codec, csv, Dataset, DatasetBuilder, Seconds, Window};
+use ddos_obs::{names, Obs};
+use ddos_schema::{codec, csv, framed, Dataset, DatasetBuilder, IngestStats, Seconds, Window};
 use ddos_sim::{generate, SimConfig};
+
+/// On-disk encoding for trace output (`--format`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    V1,
+    V2,
+}
+
+impl TraceFormat {
+    fn parse(s: &str) -> Result<TraceFormat, String> {
+        match s {
+            "v1" => Ok(TraceFormat::V1),
+            "v2" => Ok(TraceFormat::V2),
+            other => Err(format!("bad --format {other:?} (expected v1 or v2)")),
+        }
+    }
+
+    fn encode(self, ds: &Dataset) -> Vec<u8> {
+        match self {
+            TraceFormat::V1 => codec::encode(ds).to_vec(),
+            TraceFormat::V2 => framed::encode(ds).to_vec(),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,15 +70,19 @@ fn print_help() {
     println!(
         "ddoslab — botnet DDoS trace workbench\n\n\
          USAGE:\n\
-         \x20 ddoslab generate [--scale F] [--seed N] [--no-snapshots] --out FILE\n\
+         \x20 ddoslab generate [--scale F] [--seed N] [--no-snapshots]\n\
+         \x20                 [--format v1|v2] --out FILE\n\
          \x20 ddoslab analyze FILE [--json] [--timings] [--telemetry-json FILE]\n\
          \x20                 [--epochs N]\n\
          \x20 ddoslab export-csv FILE OUT.csv\n\
-         \x20 ddoslab import-csv IN.csv OUT.ddtl [--merge-gap SECONDS]\n\
+         \x20 ddoslab import-csv IN.csv OUT.ddtl [--merge-gap=SECONDS]\n\
+         \x20                 [--format=v1|v2] [--timings]\n\
          \x20 ddoslab info FILE\n\n\
-         Traces use the binary DDTL format (ddos_schema::codec).\n\
+         Traces use the binary DDTL format: v1 (ddos_schema::codec) or the\n\
+         framed v2 container (ddos_schema::framed — checksummed frames,\n\
+         parallel decode). Readers accept both; writers default to v2.\n\
          `import-csv` applies the paper's §II-D record merging (default gap 60 s;\n\
-         pass --merge-gap 0 to disable).\n\
+         pass --merge-gap=0 to disable).\n\
          `analyze --epochs N` slices the trace into N epochs and folds\n\
          per-epoch contexts — byte-identical output, sharded build."
     );
@@ -71,6 +100,7 @@ fn parse_seed(s: &str) -> Result<u64, String> {
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let mut config = SimConfig::default();
     let mut out: Option<String> = None;
+    let mut format = TraceFormat::V2;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -84,6 +114,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             "--seed" => config.seed = parse_seed(it.next().ok_or("--seed takes a value")?)?,
             "--no-snapshots" => config.snapshots = false,
             "--out" => out = Some(it.next().ok_or("--out takes a value")?.clone()),
+            "--format" => format = TraceFormat::parse(it.next().ok_or("--format takes a value")?)?,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -93,7 +124,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         config.scale, config.seed
     );
     let trace = generate(&config);
-    let bytes = codec::encode(&trace.dataset);
+    let bytes = format.encode(&trace.dataset);
     std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "wrote {out}: {} attacks, {} bots, {} KiB",
@@ -104,9 +135,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Memory-maps and decodes a trace (v1 serial or framed v2 parallel),
+/// recording the ingest span and metrics into `obs`.
+fn load_obs(path: &str, obs: &Obs) -> Result<(Dataset, IngestStats), String> {
+    let _span = obs.span(names::INGEST_FRAME_DECODE);
+    let (ds, stats) = Dataset::open_with_stats(path).map_err(|e| format!("loading {path}: {e}"))?;
+    obs.gauge(names::INGEST_BYTES).set(stats.bytes as u64);
+    obs.gauge(names::INGEST_WORKERS).set(stats.workers as u64);
+    obs.histogram(names::INGEST_FRAMES)
+        .record(stats.frames as u64);
+    Ok((ds, stats))
+}
+
 fn load(path: &str) -> Result<Dataset, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    codec::decode(&bytes).map_err(|e| format!("decoding {path}: {e}"))
+    load_obs(path, &Obs::disabled()).map(|(ds, _)| ds)
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
@@ -135,7 +177,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .filter(|&n| n > 0);
-    let ds = load(path)?;
+    let obs = Obs::enabled();
+    let (ds, _) = load_obs(path, &obs)?;
     let report = match epochs {
         // Ceiling-divide the window so N epochs tile it exactly.
         Some(n) => {
@@ -144,7 +187,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             eprintln!("epoch engine: {n} epochs of {} s", len.get());
             AnalysisReport::run_epochs(&ds, PipelineOptions::default(), len)
         }
-        None => AnalysisReport::run(&ds),
+        // The default path shares the recorder with the load above, so
+        // the telemetry artifact carries the ingest span alongside the
+        // analysis spans.
+        None => AnalysisReport::run_obs(&ds, PipelineOptions::default(), &obs),
     };
     if timings {
         eprintln!("{}", report.telemetry.render());
@@ -220,6 +266,8 @@ fn cmd_import_csv(args: &[String]) -> Result<(), String> {
         return Err("import-csv requires IN.csv OUT.ddtl".into());
     };
     let mut merge_gap = Seconds(ddos_analytics::preprocess::MERGE_GAP_S);
+    let mut format = TraceFormat::V2;
+    let mut timings = false;
     for flag in flags.iter() {
         match flag.as_str() {
             "--merge-gap" => {
@@ -229,11 +277,21 @@ fn cmd_import_csv(args: &[String]) -> Result<(), String> {
                 let v = other.trim_start_matches("--merge-gap=");
                 merge_gap = Seconds(v.parse().map_err(|e| format!("bad gap: {e}"))?);
             }
+            other if other.starts_with("--format=") => {
+                format = TraceFormat::parse(other.trim_start_matches("--format="))?;
+            }
+            "--timings" => timings = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let mut records = csv::attacks_from_csv(&text).map_err(|e| e.to_string())?;
+    let obs = Obs::enabled();
+    let mut records = {
+        let _span = obs.span(names::INGEST_CSV_PARSE);
+        csv::attacks_from_csv_chunked(&text).map_err(|e| e.to_string())?
+    };
+    obs.histogram(names::INGEST_CSV_ROWS)
+        .record(records.len() as u64);
     let raw = records.len();
     if merge_gap.get() > 0 {
         records = ddos_analytics::preprocess::merge_attack_records(records, merge_gap);
@@ -251,8 +309,11 @@ fn cmd_import_csv(args: &[String]) -> Result<(), String> {
     let merged = records.len();
     builder.extend_attacks(records).map_err(|e| e.to_string())?;
     let ds = builder.build().map_err(|e| e.to_string())?;
-    let bytes = codec::encode(&ds);
+    let bytes = format.encode(&ds);
     std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    if timings {
+        eprintln!("{}", obs.finish(false).render());
+    }
     println!(
         "imported {raw} rows -> {merged} attacks (merge gap {}s); wrote {output}",
         merge_gap.get()
@@ -262,9 +323,15 @@ fn cmd_import_csv(args: &[String]) -> Result<(), String> {
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("info requires a trace file")?;
-    let ds = load(path)?;
+    let (ds, stats) = load_obs(path, &Obs::disabled())?;
     let s = ds.summary();
     println!("{path}:");
+    println!(
+        "  format     v{} ({} frames, {} KiB)",
+        stats.version,
+        stats.frames,
+        stats.bytes / 1024
+    );
     println!("  window     {} -> {}", ds.window().start, ds.window().end);
     println!("  attacks    {}", s.attacks);
     println!(

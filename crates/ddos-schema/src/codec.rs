@@ -17,12 +17,20 @@
 //!
 //! Integers that are usually small (counts, magnitudes) use LEB128
 //! varints; timestamps are fixed-width `i64`; coordinates are `f64`.
+//!
+//! Version 2 of the container ([`crate::framed`]) reuses the same
+//! per-record encoding but splits sections into independently-decodable
+//! frames; [`decode_any`] dispatches on the header version so callers
+//! can read either. The record decoders here are generic over
+//! [`WireBuf`] so v1 keeps its `Bytes` reference path while v2 reads
+//! zero-copy slices.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::error::SchemaError;
 use crate::family::Family;
+use crate::framed::IngestStats;
 use crate::geo::{CountryCode, LatLon};
 use crate::ids::{Asn, BotnetId, CityId, DdosId, OrgId};
 use crate::ip::IpAddr4;
@@ -30,12 +38,13 @@ use crate::protocol::Protocol;
 use crate::record::{AttackRecord, BotRecord, BotnetRecord, Location};
 use crate::snapshot::{BotPresence, HourlySnapshot, SnapshotSeries};
 use crate::time::{Timestamp, Window};
+use crate::wire::{get_varint, need, WireBuf};
 
-const MAGIC: &[u8; 4] = b"DDTL";
-/// Current binary format version.
+pub(crate) const MAGIC: &[u8; 4] = b"DDTL";
+/// The original (serial) binary format version.
 pub const VERSION: u16 = 1;
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -44,36 +53,6 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
             return;
         }
         buf.put_u8(byte | 0x80);
-    }
-}
-
-fn get_varint(buf: &mut Bytes) -> Result<u64, SchemaError> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        if !buf.has_remaining() {
-            return Err(SchemaError::Codec("truncated varint".into()));
-        }
-        let byte = buf.get_u8();
-        if shift >= 64 {
-            return Err(SchemaError::Codec("varint overflow".into()));
-        }
-        v |= u64::from(byte & 0x7F) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
-
-fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), SchemaError> {
-    if buf.remaining() < n {
-        Err(SchemaError::Codec(format!(
-            "truncated input: need {n} bytes for {what}, have {}",
-            buf.remaining()
-        )))
-    } else {
-        Ok(())
     }
 }
 
@@ -86,17 +65,17 @@ fn put_location(buf: &mut BytesMut, loc: &Location) {
     buf.put_f64(loc.coords.lon);
 }
 
-fn get_location(buf: &mut Bytes) -> Result<Location, SchemaError> {
+fn get_location<B: WireBuf>(buf: &mut B) -> Result<Location, SchemaError> {
     need(buf, 2, "country code")?;
-    let (a, b) = (buf.get_u8(), buf.get_u8());
+    let (a, b) = (buf.take_u8(), buf.take_u8());
     let country =
         CountryCode::new(a, b).map_err(|_| SchemaError::Codec("malformed country code".into()))?;
     let city = CityId(get_varint(buf)? as u32);
     let org = OrgId(get_varint(buf)? as u32);
     let asn = Asn(get_varint(buf)? as u32);
     need(buf, 16, "coordinates")?;
-    let lat = buf.get_f64();
-    let lon = buf.get_f64();
+    let lat = buf.take_f64();
+    let lon = buf.take_f64();
     let coords =
         LatLon::new(lat, lon).map_err(|_| SchemaError::Codec("coordinates out of range".into()))?;
     Ok(Location {
@@ -108,7 +87,7 @@ fn get_location(buf: &mut Bytes) -> Result<Location, SchemaError> {
     })
 }
 
-fn put_attack(buf: &mut BytesMut, a: &AttackRecord) {
+pub(crate) fn put_attack(buf: &mut BytesMut, a: &AttackRecord) {
     put_varint(buf, a.id.0);
     put_varint(buf, u64::from(a.botnet.0));
     buf.put_u8(a.family.index() as u8);
@@ -123,30 +102,30 @@ fn put_attack(buf: &mut BytesMut, a: &AttackRecord) {
     }
 }
 
-fn get_attack(buf: &mut Bytes) -> Result<AttackRecord, SchemaError> {
+pub(crate) fn get_attack<B: WireBuf>(buf: &mut B) -> Result<AttackRecord, SchemaError> {
     let id = DdosId(get_varint(buf)?);
     let botnet = BotnetId(get_varint(buf)? as u32);
     need(buf, 2, "family/category")?;
-    let family = Family::from_index(buf.get_u8() as usize)
+    let family = Family::from_index(buf.take_u8() as usize)
         .ok_or_else(|| SchemaError::Codec("bad family index".into()))?;
-    let fam_idx = buf.get_u8() as usize;
+    let fam_idx = buf.take_u8() as usize;
     let category = *Protocol::ALL
         .get(fam_idx)
         .ok_or_else(|| SchemaError::Codec("bad protocol index".into()))?;
     need(buf, 4, "target ip")?;
-    let target_ip = IpAddr4(buf.get_u32());
+    let target_ip = IpAddr4(buf.take_u32());
     let target = get_location(buf)?;
     need(buf, 16, "timestamps")?;
-    let start = Timestamp(buf.get_i64());
-    let end = Timestamp(buf.get_i64());
+    let start = Timestamp(buf.take_i64());
+    let end = Timestamp(buf.take_i64());
     let n = get_varint(buf)? as usize;
     // Sanity bound: one source is 4 bytes on the wire.
-    if buf.remaining() < n.saturating_mul(4) {
+    if buf.left() < n.saturating_mul(4) {
         return Err(SchemaError::Codec("truncated source list".into()));
     }
     let mut sources = Vec::with_capacity(n);
     for _ in 0..n {
-        sources.push(IpAddr4(buf.get_u32()));
+        sources.push(IpAddr4(buf.take_u32()));
     }
     Ok(AttackRecord {
         id,
@@ -161,7 +140,7 @@ fn get_attack(buf: &mut Bytes) -> Result<AttackRecord, SchemaError> {
     })
 }
 
-fn put_bot(buf: &mut BytesMut, b: &BotRecord) {
+pub(crate) fn put_bot(buf: &mut BytesMut, b: &BotRecord) {
     buf.put_u32(b.ip.0);
     put_varint(buf, u64::from(b.botnet.0));
     buf.put_u8(b.family.index() as u8);
@@ -170,17 +149,17 @@ fn put_bot(buf: &mut BytesMut, b: &BotRecord) {
     buf.put_i64(b.last_seen.0);
 }
 
-fn get_bot(buf: &mut Bytes) -> Result<BotRecord, SchemaError> {
+pub(crate) fn get_bot<B: WireBuf>(buf: &mut B) -> Result<BotRecord, SchemaError> {
     need(buf, 4, "bot ip")?;
-    let ip = IpAddr4(buf.get_u32());
+    let ip = IpAddr4(buf.take_u32());
     let botnet = BotnetId(get_varint(buf)? as u32);
     need(buf, 1, "bot family")?;
-    let family = Family::from_index(buf.get_u8() as usize)
+    let family = Family::from_index(buf.take_u8() as usize)
         .ok_or_else(|| SchemaError::Codec("bad family index".into()))?;
     let location = get_location(buf)?;
     need(buf, 16, "bot timestamps")?;
-    let first_seen = Timestamp(buf.get_i64());
-    let last_seen = Timestamp(buf.get_i64());
+    let first_seen = Timestamp(buf.take_i64());
+    let last_seen = Timestamp(buf.take_i64());
     Ok(BotRecord {
         ip,
         botnet,
@@ -191,7 +170,7 @@ fn get_bot(buf: &mut Bytes) -> Result<BotRecord, SchemaError> {
     })
 }
 
-fn put_botnet(buf: &mut BytesMut, b: &BotnetRecord) {
+pub(crate) fn put_botnet(buf: &mut BytesMut, b: &BotnetRecord) {
     put_varint(buf, u64::from(b.id.0));
     buf.put_u8(b.family.index() as u8);
     buf.put_slice(&b.binary_hash);
@@ -201,18 +180,18 @@ fn put_botnet(buf: &mut BytesMut, b: &BotnetRecord) {
     buf.put_i64(b.last_seen.0);
 }
 
-fn get_botnet(buf: &mut Bytes) -> Result<BotnetRecord, SchemaError> {
+pub(crate) fn get_botnet<B: WireBuf>(buf: &mut B) -> Result<BotnetRecord, SchemaError> {
     let id = BotnetId(get_varint(buf)? as u32);
     need(buf, 1 + 20 + 4, "botnet record")?;
-    let family = Family::from_index(buf.get_u8() as usize)
+    let family = Family::from_index(buf.take_u8() as usize)
         .ok_or_else(|| SchemaError::Codec("bad family index".into()))?;
     let mut binary_hash = [0u8; 20];
-    buf.copy_to_slice(&mut binary_hash);
-    let controller = IpAddr4(buf.get_u32());
+    buf.take_into(&mut binary_hash);
+    let controller = IpAddr4(buf.take_u32());
     let enrolled_bots = get_varint(buf)? as u32;
     need(buf, 16, "botnet timestamps")?;
-    let first_seen = Timestamp(buf.get_i64());
-    let last_seen = Timestamp(buf.get_i64());
+    let first_seen = Timestamp(buf.take_i64());
+    let last_seen = Timestamp(buf.take_i64());
     Ok(BotnetRecord {
         id,
         family,
@@ -224,7 +203,7 @@ fn get_botnet(buf: &mut Bytes) -> Result<BotnetRecord, SchemaError> {
     })
 }
 
-fn put_snapshot(buf: &mut BytesMut, s: &HourlySnapshot) {
+pub(crate) fn put_snapshot(buf: &mut BytesMut, s: &HourlySnapshot) {
     buf.put_i64(s.taken_at.0);
     put_varint(buf, s.bots.len() as u64);
     for b in &s.bots {
@@ -235,21 +214,24 @@ fn put_snapshot(buf: &mut BytesMut, s: &HourlySnapshot) {
     }
 }
 
-fn get_snapshot(buf: &mut Bytes, family: Family) -> Result<HourlySnapshot, SchemaError> {
+pub(crate) fn get_snapshot<B: WireBuf>(
+    buf: &mut B,
+    family: Family,
+) -> Result<HourlySnapshot, SchemaError> {
     need(buf, 8, "snapshot timestamp")?;
-    let taken_at = Timestamp(buf.get_i64());
+    let taken_at = Timestamp(buf.take_i64());
     let n = get_varint(buf)? as usize;
-    if buf.remaining() < n.saturating_mul(4 + 2 + 16) {
+    if buf.left() < n.saturating_mul(4 + 2 + 16) {
         return Err(SchemaError::Codec("truncated snapshot".into()));
     }
     let mut bots = Vec::with_capacity(n);
     for _ in 0..n {
-        let ip = IpAddr4(buf.get_u32());
-        let (a, b) = (buf.get_u8(), buf.get_u8());
+        let ip = IpAddr4(buf.take_u32());
+        let (a, b) = (buf.take_u8(), buf.take_u8());
         let country = CountryCode::new(a, b)
             .map_err(|_| SchemaError::Codec("malformed country code".into()))?;
-        let lat = buf.get_f64();
-        let lon = buf.get_f64();
+        let lat = buf.take_f64();
+        let lon = buf.take_f64();
         let coords = LatLon::new(lat, lon)
             .map_err(|_| SchemaError::Codec("coordinates out of range".into()))?;
         bots.push(BotPresence {
@@ -297,24 +279,27 @@ pub fn encode(ds: &Dataset) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a dataset from the binary trace format.
+/// Deserializes a dataset from the version-1 binary trace format.
+///
+/// This is the serial reference path; [`decode_any`] additionally
+/// understands the framed v2 container.
 pub fn decode(bytes: &[u8]) -> Result<Dataset, SchemaError> {
     let mut buf = Bytes::copy_from_slice(bytes);
     need(&buf, 4 + 2 + 16, "header")?;
     let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    buf.take_into(&mut magic);
     if &magic != MAGIC {
         return Err(SchemaError::Codec("bad magic (not a DDTL trace)".into()));
     }
-    let version = buf.get_u16();
+    let version = buf.take_u16();
     if version > VERSION {
         return Err(SchemaError::UnsupportedVersion {
             found: version,
             supported: VERSION,
         });
     }
-    let start = Timestamp(buf.get_i64());
-    let end = Timestamp(buf.get_i64());
+    let start = Timestamp(buf.take_i64());
+    let end = Timestamp(buf.take_i64());
     let window = Window::new(start, end)?;
     let mut builder = DatasetBuilder::new(window).allow_out_of_window();
     let n_attacks = get_varint(&mut buf)? as usize;
@@ -332,7 +317,7 @@ pub fn decode(bytes: &[u8]) -> Result<Dataset, SchemaError> {
     let n_series = get_varint(&mut buf)? as usize;
     for _ in 0..n_series {
         need(&buf, 1, "snapshot family")?;
-        let family = Family::from_index(buf.get_u8() as usize)
+        let family = Family::from_index(buf.take_u8() as usize)
             .ok_or_else(|| SchemaError::Codec("bad family index".into()))?;
         let n_snaps = get_varint(&mut buf)? as usize;
         let mut snaps = Vec::with_capacity(n_snaps);
@@ -341,13 +326,44 @@ pub fn decode(bytes: &[u8]) -> Result<Dataset, SchemaError> {
         }
         builder.set_snapshots(family, SnapshotSeries::from_snapshots(snaps)?)?;
     }
-    if buf.has_remaining() {
+    if buf.left() > 0 {
         return Err(SchemaError::Codec(format!(
             "{} trailing bytes after trace",
-            buf.remaining()
+            buf.left()
         )));
     }
     builder.build()
+}
+
+/// Reads the `DDTL` magic and format version without consuming input.
+pub(crate) fn peek_version(bytes: &[u8]) -> Result<u16, SchemaError> {
+    if bytes.len() < 6 {
+        return Err(SchemaError::Codec(format!(
+            "truncated input: need 6 bytes for magic/version, have {}",
+            bytes.len()
+        )));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(SchemaError::Codec("bad magic (not a DDTL trace)".into()));
+    }
+    Ok(u16::from_be_bytes([bytes[4], bytes[5]]))
+}
+
+/// Deserializes a dataset from any supported binary trace version.
+///
+/// Dispatches on the header: version 1 takes the serial [`decode`]
+/// reference path, version 2 the parallel [`crate::framed`] decoder.
+pub fn decode_any(bytes: &[u8]) -> Result<Dataset, SchemaError> {
+    decode_any_with_stats(bytes).map(|(ds, _)| ds)
+}
+
+/// Like [`decode_any`], also returning [`IngestStats`] describing the
+/// load (format version, bytes, frames, decode workers).
+pub fn decode_any_with_stats(bytes: &[u8]) -> Result<(Dataset, IngestStats), SchemaError> {
+    match peek_version(bytes)? {
+        0 | 1 => decode(bytes).map(|ds| (ds, IngestStats::serial_v1(bytes.len()))),
+        _ => crate::framed::decode_with_stats(bytes),
+    }
 }
 
 /// Serializes a dataset as JSON (interchange format).
@@ -471,7 +487,7 @@ mod tests {
             put_varint(&mut buf, v);
             let mut bytes = buf.freeze();
             assert_eq!(get_varint(&mut bytes).unwrap(), v);
-            assert!(!bytes.has_remaining());
+            assert_eq!(bytes.left(), 0);
         }
     }
 }

@@ -64,36 +64,129 @@ where
 
 /// Parses attack records from CSV produced by [`attacks_to_csv`] (or an
 /// external export in the same layout). Blank lines and `#` comments are
-/// skipped; every data row is fully validated.
+/// skipped; every data row is fully validated. Diagnostics carry the
+/// 1-based line number in the original input.
 pub fn attacks_from_csv(text: &str) -> Result<Vec<AttackRecord>, SchemaError> {
-    let mut lines = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'));
-    let header = lines
-        .next()
+    let lines = indexed_lines(text);
+    let data = check_header(&lines)?;
+    let mut out = Vec::with_capacity(data.len());
+    // One field buffer reused across all rows instead of a fresh
+    // `Vec<&str>` per row; `parse_line` only reads it within the call.
+    let mut fields: Vec<&str> = Vec::with_capacity(14);
+    for &(lineno, line) in data {
+        out.push(parse_line(lineno, line, &mut fields)?);
+    }
+    Ok(out)
+}
+
+/// Parallel variant of [`attacks_from_csv`]: the line index is built in
+/// one sweep, contiguous chunks of rows are parsed on scoped threads
+/// (each with its own reused field buffer), and the per-chunk results
+/// are spliced in chunk order. Because chunks partition the rows in
+/// order, scanning results in chunk order makes the error for the
+/// earliest offending line win — output and diagnostics are identical
+/// to the serial path, which proptest in `tests/ingest.rs` pins.
+pub fn attacks_from_csv_chunked(text: &str) -> Result<Vec<AttackRecord>, SchemaError> {
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+    attacks_from_csv_chunked_with(text, workers)
+}
+
+/// [`attacks_from_csv_chunked`] with an explicit worker count, so tests
+/// and benches can pin the parallel path regardless of host cores.
+/// Degrades to the serial loop when the input is too small to be worth
+/// splitting.
+pub fn attacks_from_csv_chunked_with(
+    text: &str,
+    workers: usize,
+) -> Result<Vec<AttackRecord>, SchemaError> {
+    let lines = indexed_lines(text);
+    let data = check_header(&lines)?;
+    let workers = workers.min(data.len() / MIN_ROWS_PER_CHUNK);
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(data.len());
+        let mut fields: Vec<&str> = Vec::with_capacity(14);
+        for &(lineno, line) in data {
+            out.push(parse_line(lineno, line, &mut fields)?);
+        }
+        return Ok(out);
+    }
+    let chunk_len = data.len().div_ceil(workers);
+    let chunks: Vec<&[(usize, &str)]> = data.chunks(chunk_len).collect();
+    let parsed: Vec<Result<Vec<AttackRecord>, SchemaError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&chunk| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    let mut fields: Vec<&str> = Vec::with_capacity(14);
+                    for &(lineno, line) in chunk {
+                        out.push(parse_line(lineno, line, &mut fields)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("csv chunk worker panicked"))
+            .collect()
+    })
+    .expect("csv chunk scope panicked");
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in parsed {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+/// Below this many rows per would-be chunk the spawn overhead outweighs
+/// the parse work and the chunked path degrades to the serial loop.
+const MIN_ROWS_PER_CHUNK: usize = 256;
+
+/// One sweep over the input: trims, drops blank/comment lines, and
+/// tags every surviving line with its 1-based original line number.
+fn indexed_lines(text: &str) -> Vec<(usize, &str)> {
+    text.lines()
+        .enumerate()
+        .filter_map(|(i, line)| {
+            let line = line.trim();
+            (!line.is_empty() && !line.starts_with('#')).then_some((i + 1, line))
+        })
+        .collect()
+}
+
+/// Validates the header line and returns the data rows after it.
+fn check_header<'a, 'b>(
+    lines: &'a [(usize, &'b str)],
+) -> Result<&'a [(usize, &'b str)], SchemaError> {
+    let ((_, header), data) = lines
+        .split_first()
         .ok_or_else(|| SchemaError::Codec("empty CSV input".into()))?;
     if normalize_header(header) != normalize_header(HEADER) {
         return Err(SchemaError::Codec(format!(
             "unexpected CSV header {header:?}"
         )));
     }
-    let mut out = Vec::new();
-    for (lineno, line) in lines.enumerate() {
-        let row: Vec<&str> = line.split(',').collect();
-        if row.len() != 14 {
-            return Err(SchemaError::Codec(format!(
-                "line {}: expected 14 columns, found {}",
-                lineno + 2,
-                row.len()
-            )));
-        }
-        let attack =
-            parse_row(&row).map_err(|e| SchemaError::Codec(format!("line {}: {e}", lineno + 2)))?;
-        attack.validate()?;
-        out.push(attack);
+    Ok(data)
+}
+
+fn parse_line<'a>(
+    lineno: usize,
+    line: &'a str,
+    fields: &mut Vec<&'a str>,
+) -> Result<AttackRecord, SchemaError> {
+    fields.clear();
+    fields.extend(line.split(','));
+    if fields.len() != 14 {
+        return Err(SchemaError::Codec(format!(
+            "line {lineno}: expected 14 columns, found {}",
+            fields.len()
+        )));
     }
-    Ok(out)
+    let attack =
+        parse_row(fields).map_err(|e| SchemaError::Codec(format!("line {lineno}: {e}")))?;
+    attack.validate()?;
+    Ok(attack)
 }
 
 fn normalize_header(h: &str) -> String {
@@ -163,6 +256,43 @@ mod tests {
         let csv = attacks_to_csv([&a]);
         let spaced = csv.replacen("ddos_id,botnet_id", "ddos_id, botnet_id", 1);
         assert!(attacks_from_csv(&spaced).is_ok());
+    }
+
+    #[test]
+    fn chunked_parse_matches_serial() {
+        let attacks: Vec<AttackRecord> = (1..=700)
+            .map(|i| {
+                let mut a = attack(i, i as i64 * 10);
+                a.sources.push(IpAddr4::from_octets(203, 0, 113, 9));
+                a
+            })
+            .collect();
+        let csv = attacks_to_csv(&attacks);
+        let serial = attacks_from_csv(&csv).unwrap();
+        let chunked = attacks_from_csv_chunked(&csv).unwrap();
+        assert_eq!(serial, chunked);
+        assert_eq!(serial, attacks);
+        // Force the scoped-thread path even on a 1-core host.
+        assert_eq!(serial, attacks_from_csv_chunked_with(&csv, 2).unwrap());
+    }
+
+    #[test]
+    fn chunked_parse_reports_the_earliest_bad_line() {
+        let attacks: Vec<AttackRecord> = (1..=600).map(|i| attack(i, i as i64 * 10)).collect();
+        let mut csv = attacks_to_csv(&attacks);
+        // Corrupt a row near the front and one near the back; the
+        // front one (line 42: header is line 1, rows start at 2) wins.
+        let lines: Vec<&str> = csv.lines().collect();
+        let (front, back) = (lines[41].to_owned(), lines[550].to_owned());
+        csv = csv.replacen(&front, "broken,row", 1);
+        csv = csv.replacen(&back, "also,broken", 1);
+        let serial = attacks_from_csv(&csv).unwrap_err();
+        let chunked = attacks_from_csv_chunked(&csv).unwrap_err();
+        assert_eq!(serial, chunked);
+        assert!(serial.to_string().contains("line 42"), "{serial}");
+        // Even when the first chunk is clean and a later chunk errors
+        // first in wall-clock time, the earliest line still wins.
+        assert_eq!(serial, attacks_from_csv_chunked_with(&csv, 2).unwrap_err());
     }
 
     #[test]

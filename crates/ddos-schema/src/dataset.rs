@@ -371,6 +371,38 @@ impl DatasetBuilder {
         Ok(self)
     }
 
+    /// Appends attack records the caller has already validated — the
+    /// framed decoder runs per-record validation on its worker threads,
+    /// so re-checking here would double the work. Window enforcement is
+    /// intentionally skipped too (the codecs build with
+    /// [`DatasetBuilder::allow_out_of_window`]); the whole-dataset
+    /// checks in [`DatasetBuilder::build`] still apply.
+    pub(crate) fn extend_attacks_prevalidated(&mut self, attacks: Vec<AttackRecord>) {
+        if self.attacks.is_empty() {
+            self.attacks = attacks;
+        } else {
+            self.attacks.extend(attacks);
+        }
+    }
+
+    /// Appends bot records the caller has already validated.
+    pub(crate) fn extend_bots_prevalidated(&mut self, bots: Vec<BotRecord>) {
+        if self.bots.is_empty() {
+            self.bots = bots;
+        } else {
+            self.bots.extend(bots);
+        }
+    }
+
+    /// Appends botnet records the caller has already validated.
+    pub(crate) fn extend_botnets_prevalidated(&mut self, botnets: Vec<BotnetRecord>) {
+        if self.botnets.is_empty() {
+            self.botnets = botnets;
+        } else {
+            self.botnets.extend(botnets);
+        }
+    }
+
     /// Adds one bot record (validated).
     pub fn push_bot(&mut self, bot: BotRecord) -> Result<&mut Self, SchemaError> {
         bot.validate()?;

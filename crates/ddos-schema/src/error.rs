@@ -26,6 +26,8 @@ pub enum SchemaError {
     InvalidDataset(String),
     /// The binary codec met malformed input.
     Codec(String),
+    /// A trace file could not be opened or mapped.
+    Io(String),
     /// The binary codec met a magic/version it does not understand.
     UnsupportedVersion {
         /// Version found in the header.
@@ -47,6 +49,7 @@ impl fmt::Display for SchemaError {
             SchemaError::InvalidRecord(msg) => write!(f, "invalid record: {msg}"),
             SchemaError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
             SchemaError::Codec(msg) => write!(f, "codec error: {msg}"),
+            SchemaError::Io(msg) => write!(f, "io error: {msg}"),
             SchemaError::UnsupportedVersion { found, supported } => {
                 write!(
                     f,

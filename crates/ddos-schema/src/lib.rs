@@ -23,6 +23,10 @@
 //!   with family/target/time access paths used by every analysis;
 //! * [`codec`] — a compact binary trace format (plus JSON via `serde`) so
 //!   generated traces can be persisted and shared;
+//! * [`framed`] — version 2 of that format: sections split into
+//!   checksummed frames decoded in parallel on scoped threads;
+//! * [`mmap`] — [`Dataset::open`], memory-mapped zero-copy loading of
+//!   either binary version;
 //! * [`csv`] — a plain-text layout of the attack schema for importing
 //!   external data.
 //!
@@ -38,19 +42,23 @@ pub mod csv;
 pub mod dataset;
 pub mod error;
 pub mod family;
+pub mod framed;
 pub mod geo;
 pub mod hashing;
 pub mod ids;
 pub mod ip;
+pub mod mmap;
 pub mod protocol;
 pub mod record;
 pub mod shard;
 pub mod snapshot;
 pub mod time;
+pub(crate) mod wire;
 
 pub use dataset::{Dataset, DatasetBuilder, DatasetSummary};
 pub use error::SchemaError;
 pub use family::Family;
+pub use framed::IngestStats;
 pub use geo::{CountryCode, LatLon};
 pub use ids::{Asn, BotnetId, CityId, DdosId, OrgId};
 pub use ip::IpAddr4;

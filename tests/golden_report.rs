@@ -5,7 +5,8 @@
 //! rest of the integration suite analyzes). One table-driven test runs
 //! the pipeline every way it can be run — parallel, serial, telemetry
 //! off, the pass scheduler over a columnar or reference-built context,
-//! the pre-refactor monolithic baseline, every kernel policy (the PR 6
+//! the pre-refactor monolithic baseline, a framed-v2 round-tripped
+//! copy of the trace, every kernel policy (the PR 6
 //! reference bodies, intra-pass parallelism forced on via fixed chunk
 //! sizes), and the epoch-sharded engine
 //! (batch fold, incremental append, streaming feed replay) — and asserts each variant's
@@ -26,7 +27,7 @@ use std::sync::OnceLock;
 
 use ddos_analytics::{AnalysisContext, AnalysisReport, KernelPolicy, PipelineOptions, StreamFold};
 use ddos_obs::{fnv1a_64_hex, Obs};
-use ddos_schema::Seconds;
+use ddos_schema::{framed, Seconds};
 use ddos_sim::{generate, GeneratedTrace, SimConfig};
 use ddos_stats::ArimaSpec;
 use proptest::prelude::*;
@@ -76,6 +77,12 @@ fn every_pipeline_variant_matches_the_golden_digest() {
         (
             "monolithic baseline",
             AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT),
+        ),
+        (
+            "framed v2 round-tripped dataset",
+            AnalysisReport::run(
+                &framed::decode(&framed::encode(ds)).expect("framed v2 round trip"),
+            ),
         ),
         (
             "scheduler over columnar serial context",

@@ -1,0 +1,196 @@
+//! Minimal offline stand-in for the `memmap2` crate.
+//!
+//! Implements the one thing the workspace needs: a read-only mapping of
+//! a whole file that derefs to `&[u8]`. On unix the mapping is a real
+//! `mmap(2)` (pages are faulted in lazily by the decoder, nothing is
+//! copied up front); elsewhere — or if the kernel refuses the mapping —
+//! it silently falls back to reading the file into an owned buffer, so
+//! callers get identical bytes either way.
+//!
+//! One deliberate API difference from the real crate: [`Mmap::map`] is a
+//! *safe* function here. The real `memmap2::Mmap::map` is `unsafe`
+//! because another process can truncate the file and turn reads into
+//! `SIGBUS`; this workspace only maps trace files it just wrote (or that
+//! the user points a CLI at), and its consumers `forbid(unsafe_code)`,
+//! so the shim accepts that caveat once, centrally, instead of at every
+//! call site.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+/// A read-only memory map of an entire file.
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    /// A live `mmap(2)` region, unmapped on drop.
+    #[cfg(unix)]
+    Map { ptr: *const u8, len: usize },
+    /// Buffered fallback (empty files, non-unix, or a refused mapping).
+    Owned(Vec<u8>),
+}
+
+// The region is private (MAP_PRIVATE), read-only, and exclusively owned
+// by this handle, so sharing it across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only from offset 0 to its current length.
+    ///
+    /// Never fails over to a partial view: any mapping problem degrades
+    /// to an owned in-memory copy of the file.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new()),
+            });
+        }
+        #[cfg(unix)]
+        if usize::try_from(len).is_ok() {
+            if let Some(inner) = sys::map_read_only(file, len as usize) {
+                return Ok(Mmap { inner });
+            }
+        }
+        let mut data = Vec::with_capacity(usize::try_from(len).unwrap_or(0));
+        let mut f = file.try_clone()?;
+        f.seek(SeekFrom::Start(0))?;
+        f.read_to_end(&mut data)?;
+        Ok(Mmap {
+            inner: Inner::Owned(data),
+        })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Map { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Owned(data) => data,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Map { ptr, len } = self.inner {
+            // Failure here leaks the mapping until process exit; there
+            // is nothing useful to do about it in a destructor.
+            unsafe {
+                sys::munmap(ptr as *mut std::os::raw::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::fs::File;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    use super::Inner;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// Attempts the mapping; `None` means "use the buffered fallback".
+    pub fn map_read_only(file: &File, len: usize) -> Option<Inner> {
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        let failed = ptr.is_null() || ptr as isize == -1;
+        (!failed).then(|| Inner::Map {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap2-shim-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn map_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        File::create(&path).unwrap().write_all(b"abcdef").unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        let total: usize = std::thread::scope(|s| {
+            let a = s.spawn(|| map[..3].len());
+            let b = s.spawn(|| map[3..].len());
+            a.join().unwrap() + b.join().unwrap()
+        });
+        assert_eq!(total, 6);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
