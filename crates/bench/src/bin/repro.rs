@@ -22,6 +22,10 @@
 //! repro --ingest-bench --smoke  # same on the small trace (CI mode)
 //! repro --telemetry-json FILE  # write the run's span/metric telemetry
 //! repro --report-digest # print the golden-trace report digest
+//! repro --soak N        # N seeded differential rounds over the variant
+//!                       # matrix; writes SOAK_FAILURE.json on divergence
+//! repro --soak N --soak-seed 0xBEEF  # replay a specific seed
+//! repro --soak N --soak-full --scale 1.0  # weekly paper-scale soak
 //! ```
 
 use ddos_analytics::collab::concurrent::CollabAnalysis;
@@ -46,6 +50,10 @@ fn main() {
     let mut ingest_bench = false;
     let mut smoke = false;
     let mut report_digest = false;
+    let mut soak_rounds: Option<u32> = None;
+    let mut soak_seed: Option<u64> = None;
+    let mut soak_full = false;
+    let mut scale_set = false;
     let mut out_dir: Option<String> = None;
     let mut telemetry_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -56,6 +64,7 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--scale takes a number");
+                scale_set = true;
             }
             "--out" => out_dir = Some(args.next().expect("--out takes a directory")),
             "--telemetry-json" => {
@@ -69,6 +78,23 @@ fn main() {
             "--ingest-bench" => ingest_bench = true,
             "--smoke" => smoke = true,
             "--report-digest" => report_digest = true,
+            "--soak" => {
+                soak_rounds = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--soak takes a round count"),
+                );
+            }
+            "--soak-seed" => {
+                let raw = args.next().expect("--soak-seed takes a seed");
+                let parsed = raw
+                    .strip_prefix("0x")
+                    .or_else(|| raw.strip_prefix("0X"))
+                    .map(|hex| u64::from_str_radix(hex, 16).ok())
+                    .unwrap_or_else(|| raw.parse().ok());
+                soak_seed = Some(parsed.expect("--soak-seed takes a decimal or 0x-hex u64"));
+            }
+            "--soak-full" => soak_full = true,
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{:<4} {} — {}", e.id, e.title, e.description);
@@ -101,6 +127,13 @@ fn main() {
     }
     if report_digest {
         run_report_digest();
+        return;
+    }
+    if let Some(rounds) = soak_rounds {
+        // Soak defaults to the CI smoke scale unless --scale overrides
+        // it (weekly paper-scale runs pass --scale 1.0 explicitly).
+        let soak_scale = if scale_set { scale } else { 0.05 };
+        run_soak_mode(rounds, soak_seed, soak_scale, soak_full, telemetry_out);
         return;
     }
 
@@ -947,6 +980,78 @@ fn run_report_digest() {
         trace.dataset.len(),
         json.len()
     );
+}
+
+/// `--soak N`: seeded differential soak over the variant matrix (see
+/// `ddos-testkit`). Green rounds print a table row each; the first
+/// divergence writes `SOAK_FAILURE.json` (the CI artifact), prints the
+/// one-line repro command, and exits non-zero.
+fn run_soak_mode(
+    rounds: u32,
+    base_seed: Option<u64>,
+    scale: f64,
+    full_matrix: bool,
+    telemetry_out: Option<String>,
+) {
+    let opts = ddos_testkit::SoakOptions {
+        rounds,
+        base_seed: base_seed.unwrap_or(ddos_testkit::SoakOptions::default().base_seed),
+        scale,
+        full_matrix,
+        faults: true,
+    };
+    eprintln!(
+        "soak: {} rounds, base seed {:#x}, scale {}, {} matrix, faults {}",
+        opts.rounds,
+        opts.base_seed,
+        opts.scale,
+        if opts.full_matrix { "full" } else { "curated" },
+        if ddos_testkit::failpoints::ACTIVE {
+            "on"
+        } else {
+            "off (release build)"
+        },
+    );
+    let obs = Obs::enabled();
+    println!("round  seed                cells  probe                  digest");
+    let result = ddos_testkit::run_soak(&opts, &obs, |r| {
+        println!(
+            "{:<5}  {:#018x}  {:<5}  {:<21}  {}",
+            r.round,
+            r.seed,
+            r.cells,
+            r.probed.as_deref().unwrap_or("-"),
+            r.digest
+        );
+    });
+    if let Some(path) = &telemetry_out {
+        let telemetry = obs.finish(false);
+        let json = serde_json::to_string_pretty(&telemetry).expect("telemetry serializes");
+        std::fs::write(path, json).expect("writing telemetry json");
+        eprintln!("wrote {path}");
+    }
+    match result {
+        Ok(summary) => {
+            eprintln!(
+                "soak green: {} rounds, all cells agreed",
+                summary.rounds.len()
+            );
+        }
+        Err(failure) => {
+            failure
+                .write_bundle("SOAK_FAILURE.json")
+                .expect("writing SOAK_FAILURE.json");
+            eprintln!(
+                "soak FAILED at round {} (cell `{}`): {}",
+                failure.round, failure.cell, failure.detail
+            );
+            eprintln!("  expected: {}", failure.expected);
+            eprintln!("  got:      {}", failure.got);
+            eprintln!("  bundle:   SOAK_FAILURE.json");
+            eprintln!("  {}", failure.repro_hint());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Renders the EXPERIMENTS.md body from the comparison rows.

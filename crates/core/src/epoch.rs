@@ -622,6 +622,19 @@ impl StreamFold {
     /// Builds and folds in one epoch batch. Batches must arrive in
     /// epoch order.
     pub fn push(&mut self, batch: &EpochBatch, obs: &Obs) {
+        crate::fault::infallible(self.try_push(batch, obs));
+    }
+
+    /// Fallible [`push`](StreamFold::push): the `epoch/merge`
+    /// failpoint is consulted before any fold state is touched, so an
+    /// injected abort returns `Err` with the accumulator intact and
+    /// re-pushing the *same* batch resumes the fold cleanly.
+    pub fn try_push(
+        &mut self,
+        batch: &EpochBatch,
+        obs: &Obs,
+    ) -> Result<(), crate::fault::PipelineError> {
+        crate::fault::check(crate::fault::EPOCH_MERGE, obs)?;
         assert_eq!(
             batch.attack_base, self.next_base,
             "batches must arrive in epoch order"
@@ -645,6 +658,7 @@ impl StreamFold {
                 merged
             }
         });
+        Ok(())
     }
 
     /// Peak raw rows (attacks + bot records) resident at once.

@@ -35,6 +35,7 @@ pub mod columnar;
 pub mod context;
 pub mod defense;
 pub mod epoch;
+pub mod fault;
 pub mod kernels;
 pub mod overview;
 pub mod passes;
@@ -48,5 +49,6 @@ pub mod util;
 pub use columnar::{BotTable, SourceTable, NO_BOT};
 pub use context::AnalysisContext;
 pub use epoch::{EpochContext, FoldScratch, MergeDelta, StreamFold};
+pub use fault::PipelineError;
 pub use kernels::KernelPolicy;
 pub use pipeline::{AnalysisReport, AppendStats, IncrementalPipeline, PipelineOptions};

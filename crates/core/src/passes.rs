@@ -34,6 +34,7 @@ use crate::collab::concurrent::{CollabAnalysis, PairFocus};
 use crate::collab::multistage::MultistageAnalysis;
 use crate::context::AnalysisContext;
 use crate::defense::{latency_sweep_from_durations, BlacklistSim, LatencyPoint};
+use crate::fault::{self, PipelineError};
 use crate::overview::activity::{activity_levels, FamilyActivity};
 use crate::overview::daily::DailyDistribution;
 use crate::overview::duration::DurationAnalysis;
@@ -443,6 +444,10 @@ pub const REGISTRY: &[PassSpec] = &[
     },
 ];
 
+/// What one pass run yields: `(name, output, start_us, end_us)`, or the
+/// injected fault that stopped it.
+type PassRun = Result<(&'static str, PassOutput, u64, u64), PipelineError>;
+
 /// Runs one pass, stamping its start/end offsets off the observer's
 /// clock (offsets are recorded by the driver after the join, so worker
 /// threads never contend on the span sink mid-stage).
@@ -451,10 +456,11 @@ fn run_pass(
     ctx: &AnalysisContext,
     partial: &PartialReport,
     obs: &Obs,
-) -> (&'static str, PassOutput, u64, u64) {
+) -> PassRun {
+    fault::check(fault::SCHEDULER_PASS, obs)?;
     let start_us = obs.now_us();
     let out = (pass.run)(ctx, partial, obs);
-    (pass.name, out, start_us, obs.now_us())
+    Ok((pass.name, out, start_us, obs.now_us()))
 }
 
 /// The set of passes whose inputs a change to `parts` invalidates.
@@ -494,10 +500,23 @@ pub fn passes_dirtied_by(parts: &[CtxPart]) -> HashSet<&'static str> {
 /// interleaving. Serial execution is the fallback and runs the exact
 /// same functions in the exact same order.
 pub fn execute(ctx: &AnalysisContext, parallel: bool, obs: &Obs) -> PartialReport {
+    fault::infallible(try_execute(ctx, parallel, obs))
+}
+
+/// Fallible [`execute`]: returns `Err` instead of panicking when the
+/// `scheduler/pass` failpoint injects a failure mid-run. On `Err` the
+/// partially filled report is discarded; re-running without the fault
+/// plan reproduces the golden report (the scheduler holds no state
+/// across calls).
+pub fn try_execute(
+    ctx: &AnalysisContext,
+    parallel: bool,
+    obs: &Obs,
+) -> Result<PartialReport, PipelineError> {
     let mut partial = PartialReport::default();
     let include: HashSet<&'static str> = REGISTRY.iter().map(|p| p.name).collect();
-    execute_filtered(ctx, parallel, obs, &mut partial, &include);
-    partial
+    try_execute_filtered(ctx, parallel, obs, &mut partial, &include)?;
+    Ok(partial)
 }
 
 /// Runs only the passes named in `include` against a context, updating
@@ -517,6 +536,24 @@ pub fn execute_filtered(
     partial: &mut PartialReport,
     include: &HashSet<&'static str>,
 ) {
+    fault::infallible(try_execute_filtered(ctx, parallel, obs, partial, include))
+}
+
+/// Fallible [`execute_filtered`]: the `scheduler/pass` failpoint is
+/// consulted once per pass (in registry order on the serial path), and
+/// an injection surfaces as `Err` with the whole stage's other outputs
+/// discarded — `partial` keeps the slots of every *completed* stage but
+/// none from the failed one, so a caller either finishes cleanly or
+/// throws the partial away. Error selection is deterministic: within a
+/// failing stage the error of the earliest pass in registry order wins,
+/// regardless of thread interleaving.
+pub fn try_execute_filtered(
+    ctx: &AnalysisContext,
+    parallel: bool,
+    obs: &Obs,
+    partial: &mut PartialReport,
+    include: &HashSet<&'static str>,
+) -> Result<(), PipelineError> {
     let wait_hist = obs.histogram("scheduler/wait_us");
     let stage_counter = obs.counter("scheduler/stages");
     let mut done: HashSet<&'static str> = HashSet::new();
@@ -538,7 +575,7 @@ pub fn execute_filtered(
         remaining = rest;
         let stage_start = obs.now_us();
         let threaded = parallel && stage.len() > 1;
-        let results: Vec<(&'static str, PassOutput, u64, u64)> = if threaded {
+        let mut results: Vec<PassRun> = if threaded {
             let partial_ref: &PartialReport = partial;
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = stage
@@ -557,7 +594,14 @@ pub fn execute_filtered(
                 .map(|&p| run_pass(p, ctx, partial, obs))
                 .collect()
         };
-        for (name, out, start_us, end_us) in results {
+        // Surface the earliest failure (stage order == registry order)
+        // before applying anything: a failed stage contributes no
+        // slots, so `partial` never mixes outputs with an error.
+        if let Some(i) = results.iter().position(|r| r.is_err()) {
+            return Err(results.swap_remove(i).expect_err("position said Err"));
+        }
+        for r in results {
+            let (name, out, start_us, end_us) = r.expect("stage errors handled above");
             if threaded {
                 // Spawn-to-start latency: how long the pass sat between
                 // the stage opening and its thread actually running it.
@@ -575,6 +619,7 @@ pub fn execute_filtered(
         stage_counter.inc();
         stage_idx += 1;
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! the report field — so its presence (or absence, see
 //! [`PipelineOptions::telemetry`]) never changes report bytes.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ddos_obs::{Obs, RunTelemetry};
@@ -28,6 +29,7 @@ use crate::columnar::worker_count;
 use crate::context::AnalysisContext;
 use crate::defense::{detection_latency_sweep, BlacklistSim, LatencyPoint};
 use crate::epoch::{EpochContext, FoldScratch};
+use crate::fault::{self, PipelineError};
 use crate::kernels::KernelPolicy;
 use crate::overview::activity::{activity_levels, FamilyActivity};
 use crate::overview::daily::DailyDistribution;
@@ -159,12 +161,23 @@ impl AnalysisReport {
     /// per-family fan-out over the columnar substrate) and the pass
     /// scheduler; the serialized report is identical either way.
     pub fn run_opts(ds: &Dataset, opts: PipelineOptions) -> AnalysisReport {
+        fault::infallible(Self::try_run_opts(ds, opts))
+    }
+
+    /// Fallible [`AnalysisReport::run_opts`]: surfaces a
+    /// `scheduler/pass` fault injection as `Err` instead of panicking.
+    /// The pipeline holds no cross-run state, so retrying the same call
+    /// without the fault plan reproduces the golden report.
+    pub fn try_run_opts(
+        ds: &Dataset,
+        opts: PipelineOptions,
+    ) -> Result<AnalysisReport, PipelineError> {
         let obs = if opts.telemetry {
             Obs::enabled()
         } else {
             Obs::disabled()
         };
-        Self::run_obs(ds, opts, &obs)
+        Self::try_run_obs(ds, opts, &obs)
     }
 
     /// Like [`AnalysisReport::run_opts`], but records into a
@@ -173,17 +186,27 @@ impl AnalysisReport {
     /// same [`RunTelemetry`] as the analysis spans; `opts.telemetry` is
     /// ignored in favour of the recorder's own enabled state.
     pub fn run_obs(ds: &Dataset, opts: PipelineOptions, obs: &Obs) -> AnalysisReport {
+        fault::infallible(Self::try_run_obs(ds, opts, obs))
+    }
+
+    /// Fallible [`AnalysisReport::run_obs`] — see
+    /// [`AnalysisReport::try_run_opts`] for the error contract.
+    pub fn try_run_obs(
+        ds: &Dataset,
+        opts: PipelineOptions,
+        obs: &Obs,
+    ) -> Result<AnalysisReport, PipelineError> {
         let ctx = {
             let _span = obs.span("context");
             AnalysisContext::build_kernels(ds, opts.spec, opts.parallel, opts.kernels, obs)
         };
-        let partial = passes::execute(&ctx, opts.parallel, obs);
+        let partial = passes::try_execute(&ctx, opts.parallel, obs)?;
         let mut report = {
             let _span = obs.span("assemble");
             assemble(partial)
         };
         report.telemetry = obs.finish(opts.parallel);
-        report
+        Ok(report)
     }
 
     /// Runs the pass scheduler over a context built elsewhere (the
@@ -203,6 +226,21 @@ impl AnalysisReport {
     /// the serialized report is byte-identical to every other entry
     /// point (the golden-report suite pins this).
     pub fn run_epochs(ds: &Dataset, opts: PipelineOptions, epoch_len: Seconds) -> AnalysisReport {
+        fault::infallible(Self::try_run_epochs(ds, opts, epoch_len))
+    }
+
+    /// Fallible [`AnalysisReport::run_epochs`]: the `epoch/merge`
+    /// failpoint is consulted before every pairwise merge of the fold
+    /// (and `scheduler/pass` before every pass), so an injected
+    /// mid-fold abort surfaces as `Err` with all intermediate contexts
+    /// dropped. Retrying rebuilds every shard from the dataset —
+    /// nothing survives a failed fold — and reproduces the golden
+    /// report.
+    pub fn try_run_epochs(
+        ds: &Dataset,
+        opts: PipelineOptions,
+        epoch_len: Seconds,
+    ) -> Result<AnalysisReport, PipelineError> {
         let obs = if opts.telemetry {
             Obs::enabled()
         } else {
@@ -262,6 +300,7 @@ impl AnalysisReport {
             while let Some(a) = it.next() {
                 next_level.push(match it.next() {
                     Some(b) => {
+                        fault::check(fault::EPOCH_MERGE, &obs)?;
                         let _span = obs.span("epoch/merge");
                         a.merge_scratch(b, &mut scratch).0
                     }
@@ -280,13 +319,13 @@ impl AnalysisReport {
                 .into_context(ds, opts.spec)
                 .with_kernels(opts.kernels)
         };
-        let partial = passes::execute(&ctx, opts.parallel, &obs);
+        let partial = passes::try_execute(&ctx, opts.parallel, &obs)?;
         let mut report = {
             let _span = obs.span("assemble");
             assemble(partial)
         };
         report.telemetry = obs.finish(opts.parallel);
-        report
+        Ok(report)
     }
 
     /// Runs the pipeline by appending epochs one at a time through an
@@ -298,6 +337,17 @@ impl AnalysisReport {
         epoch_len: Seconds,
     ) -> AnalysisReport {
         IncrementalPipeline::new(ds, opts, epoch_len).into_report()
+    }
+
+    /// Fallible [`AnalysisReport::run_incremental`] — see
+    /// [`IncrementalPipeline::try_append_epoch`] for the per-append
+    /// error contract.
+    pub fn try_run_incremental(
+        ds: &Dataset,
+        opts: PipelineOptions,
+        epoch_len: Seconds,
+    ) -> Result<AnalysisReport, PipelineError> {
+        IncrementalPipeline::new(ds, opts, epoch_len).try_into_report()
     }
 
     /// The pre-refactor monolithic pipeline: every analysis rescans the
@@ -382,6 +432,12 @@ pub struct IncrementalPipeline<'a> {
     next: usize,
     acc: Option<EpochContext>,
     partial: PartialReport,
+    /// Passes dirtied by appended epochs but not yet successfully
+    /// re-run. Normally drained within the same append; it only
+    /// carries over when a `scheduler/pass` fault aborted the re-run,
+    /// so the next append (or the final flush in
+    /// [`IncrementalPipeline::try_into_report`]) retries them.
+    pending: HashSet<&'static str>,
     /// Radix workspace and fix-up buffers, reused across appends so the
     /// steady-state append allocates no fresh sort scratch.
     scratch: FoldScratch,
@@ -406,6 +462,7 @@ impl<'a> IncrementalPipeline<'a> {
             next: 0,
             acc: None,
             partial: PartialReport::default(),
+            pending: HashSet::new(),
             scratch: FoldScratch::default(),
         }
     }
@@ -428,8 +485,30 @@ impl<'a> IncrementalPipeline<'a> {
     /// Appends the next epoch and re-runs the dirtied passes. Returns
     /// `None` once every epoch has been appended.
     pub fn append_epoch(&mut self) -> Option<AppendStats> {
+        fault::infallible(self.try_append_epoch())
+    }
+
+    /// Fallible [`append_epoch`] with a two-level error contract:
+    ///
+    /// * An `epoch/merge` injection is checked **before any state is
+    ///   consumed** — on `Err` the pipeline is untouched, and calling
+    ///   `try_append_epoch` again retries the *same* epoch (the fault
+    ///   suite pins that the in-place retry still reaches the golden
+    ///   report).
+    /// * A `scheduler/pass` injection aborts the pass re-run after the
+    ///   epoch was merged; the dirtied passes stay queued in the
+    ///   pending set and the next successful append (or the final
+    ///   flush in [`try_into_report`]) re-runs them, so the pipeline
+    ///   still converges to the golden report.
+    ///
+    /// [`append_epoch`]: IncrementalPipeline::append_epoch
+    /// [`try_into_report`]: IncrementalPipeline::try_into_report
+    pub fn try_append_epoch(&mut self) -> Result<Option<AppendStats>, PipelineError> {
         let epoch = self.next;
-        let shard = self.shards.get(epoch)?;
+        let Some(shard) = self.shards.get(epoch) else {
+            return Ok(None);
+        };
+        fault::check(fault::EPOCH_MERGE, &self.obs)?;
         self.next += 1;
         let built = EpochContext::build_scratch(shard, &self.obs, &mut self.scratch);
         let attacks = built.len();
@@ -474,44 +553,80 @@ impl<'a> IncrementalPipeline<'a> {
                 merged
             }
         };
-        let dirty = passes::passes_dirtied_by(&parts);
+        self.pending.extend(passes::passes_dirtied_by(&parts));
         let reran: Vec<&'static str> = passes::REGISTRY
             .iter()
             .map(|p| p.name)
-            .filter(|n| dirty.contains(n))
+            .filter(|n| self.pending.contains(n))
             .collect();
-        if !dirty.is_empty() {
+        // Commit the merged accumulator before the fallible pass
+        // re-run: a pass fault then leaves a consistent context with
+        // the un-run passes still queued in `pending`.
+        self.acc = Some(acc);
+        if !self.pending.is_empty() {
+            let acc_ref = self.acc.as_ref().expect("accumulator just set");
             let ctx = {
                 let _span = self.obs.span("epoch/materialize");
-                acc.to_context(self.ds, self.opts.spec)
+                acc_ref
+                    .to_context(self.ds, self.opts.spec)
                     .with_kernels(self.opts.kernels)
             };
-            passes::execute_filtered(
+            passes::try_execute_filtered(
                 &ctx,
                 self.opts.parallel,
                 &self.obs,
                 &mut self.partial,
-                &dirty,
-            );
+                &self.pending,
+            )?;
+            self.pending.clear();
         }
-        self.acc = Some(acc);
-        Some(AppendStats {
+        Ok(Some(AppendStats {
             epoch,
             attacks,
             reran,
-        })
+        }))
     }
 
     /// Appends any remaining epochs and assembles the final report —
     /// byte-identical to the batch pipeline's.
-    pub fn into_report(mut self) -> AnalysisReport {
-        while self.append_epoch().is_some() {}
+    pub fn into_report(self) -> AnalysisReport {
+        fault::infallible(self.try_into_report())
+    }
+
+    /// Fallible [`into_report`]: drives the remaining appends through
+    /// [`try_append_epoch`] and flushes any passes a previous faulted
+    /// append left pending before assembling.
+    ///
+    /// [`into_report`]: IncrementalPipeline::into_report
+    /// [`try_append_epoch`]: IncrementalPipeline::try_append_epoch
+    pub fn try_into_report(mut self) -> Result<AnalysisReport, PipelineError> {
+        while self.try_append_epoch()?.is_some() {}
+        if !self.pending.is_empty() {
+            let acc_ref = self
+                .acc
+                .as_ref()
+                .expect("pending passes imply an appended epoch");
+            let ctx = {
+                let _span = self.obs.span("epoch/materialize");
+                acc_ref
+                    .to_context(self.ds, self.opts.spec)
+                    .with_kernels(self.opts.kernels)
+            };
+            passes::try_execute_filtered(
+                &ctx,
+                self.opts.parallel,
+                &self.obs,
+                &mut self.partial,
+                &self.pending,
+            )?;
+            self.pending.clear();
+        }
         let mut report = {
             let _span = self.obs.span("assemble");
             assemble(self.partial)
         };
         report.telemetry = self.obs.finish(self.opts.parallel);
-        report
+        Ok(report)
     }
 }
 

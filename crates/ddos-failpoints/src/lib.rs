@@ -1,0 +1,353 @@
+//! Deterministic fault-injection seam for the ddos workspace.
+//!
+//! Hot paths (ingest, the epoch fold, the pass scheduler) consult named
+//! *failpoints* — [`check`] calls keyed by the constants in [`names`] —
+//! and a test installs a seeded [`FailPlan`] describing which hits of
+//! which failpoint should fail. The injected failure surfaces to the
+//! caller as an ordinary `Err` through the crate-local error type of
+//! whichever layer hit it; nothing here panics or unwinds.
+//!
+//! Three properties the testkit relies on:
+//!
+//! * **Deterministic** — a plan is a pure function of its builder calls
+//!   and seed. `fail_nth` arms fire on an exact hit index; probability
+//!   arms hash `(seed, name, hit)` so the same plan replays the same
+//!   schedule on every run and platform.
+//! * **Serialized** — [`FailPlan::install`] takes a process-wide gate,
+//!   so concurrently running `cargo test` threads that inject faults
+//!   queue up instead of observing each other's plans. The returned
+//!   [`FailScope`] clears the plan on drop (including on panic).
+//! * **Release-inert** — [`ACTIVE`] is `cfg!(debug_assertions)`; in
+//!   release builds [`check`] is a constant-folded `None` and the seam
+//!   costs nothing, even when the `failpoints` cargo feature is unified
+//!   into a release graph by a test-only dependent. The `const` assert
+//!   below makes "injection compiled out of release binaries" a
+//!   compile-time guarantee rather than a convention.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Whether the injection machinery is live in this build. Constant
+/// `false` outside debug builds: every [`check`] call folds to `None`.
+pub const ACTIVE: bool = cfg!(debug_assertions);
+
+// Compile-time check (CI builds release binaries through this): if
+// `ACTIVE` is ever decoupled from the build profile — e.g. someone
+// hard-wires it `true` to "make the soak inject in release" — the
+// workspace stops compiling instead of shipping a live seam.
+const _: () = assert!(
+    ACTIVE == cfg!(debug_assertions),
+    "fault injection must be compiled out of release builds"
+);
+
+/// Canonical failpoint names. Call sites pass these constants to
+/// [`check`]; tests pass them to [`FailPlan`] builders. `ALL` drives
+/// the testkit's every-failpoint coverage loop.
+pub mod names {
+    /// `File::open` + `mmap` in `Dataset::open_with_stats`.
+    pub const INGEST_OPEN: &str = "ingest/open";
+    /// Top of the v1 serial container decode.
+    pub const INGEST_V1_DECODE: &str = "ingest/v1/decode";
+    /// After the framed v2 header/directory parse, before any frame.
+    pub const INGEST_FRAMED_HEADER: &str = "ingest/framed/header";
+    /// Per-frame decode body (serial and worker paths), hit once per
+    /// frame in frame order on the serial path.
+    pub const INGEST_FRAMED_FRAME: &str = "ingest/framed/frame";
+    /// Per-chunk CSV parse body (serial parse counts as one chunk).
+    pub const INGEST_CSV_CHUNK: &str = "ingest/csv/chunk";
+    /// Before each epoch-context merge (pairwise fold, incremental
+    /// append, stream push) — checked before any state is consumed.
+    pub const EPOCH_MERGE: &str = "epoch/merge";
+    /// Per-pass body in the scheduler, hit in registry order on the
+    /// serial path.
+    pub const SCHEDULER_PASS: &str = "scheduler/pass";
+
+    /// Every failpoint threaded through the workspace.
+    pub const ALL: [&str; 7] = [
+        INGEST_OPEN,
+        INGEST_V1_DECODE,
+        INGEST_FRAMED_HEADER,
+        INGEST_FRAMED_FRAME,
+        INGEST_CSV_CHUNK,
+        EPOCH_MERGE,
+        SCHEDULER_PASS,
+    ];
+}
+
+/// One injected failure, returned by [`check`] at the hit a plan arm
+/// fired on. Call sites format it into their own error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injected {
+    /// The failpoint name that fired.
+    pub name: String,
+    /// Zero-based hit index at which it fired.
+    pub hit: u64,
+}
+
+impl std::fmt::Display for Injected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {} (hit {})", self.name, self.hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Rule {
+    /// Fail exactly the `n`th hit (0-based), succeed all others.
+    Nth(u64),
+    /// Fail every hit.
+    Always,
+    /// Fail each hit independently with probability `p`, decided by a
+    /// deterministic hash of `(seed, name, hit)`.
+    Probability(f64),
+}
+
+struct Arm {
+    rule: Rule,
+    hits: AtomicU64,
+}
+
+struct PlanState {
+    seed: u64,
+    arms: HashMap<String, Vec<Arm>>,
+}
+
+/// SplitMix64: tiny, seedable, and good enough to decorrelate
+/// `(seed, name, hit)` triples for probability arms.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a 64, matching the digest hash used elsewhere in the repo.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl PlanState {
+    fn decide(&self, name: &str) -> Option<Injected> {
+        let arms = self.arms.get(name)?;
+        let mut fired = None;
+        for arm in arms {
+            let hit = arm.hits.fetch_add(1, Ordering::Relaxed);
+            let fail = match arm.rule {
+                Rule::Nth(n) => hit == n,
+                Rule::Always => true,
+                Rule::Probability(p) => {
+                    let h = splitmix64(self.seed ^ name_hash(name) ^ hit.wrapping_mul(0x9E37));
+                    // Top 53 bits -> uniform in [0, 1).
+                    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                    u < p
+                }
+            };
+            if fail && fired.is_none() {
+                fired = Some(Injected {
+                    name: name.to_string(),
+                    hit,
+                });
+            }
+        }
+        fired
+    }
+
+    fn hits(&self, name: &str) -> u64 {
+        self.arms
+            .get(name)
+            .and_then(|arms| arms.first())
+            .map(|a| a.hits.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// A seeded, schedule-driven fault plan. Build one with the `fail_*`
+/// methods, then [`install`](Self::install) it for the duration of the
+/// operation under test.
+#[derive(Default)]
+pub struct FailPlan {
+    seed: u64,
+    arms: HashMap<String, Vec<Arm>>,
+}
+
+impl FailPlan {
+    /// An empty plan (seed 0). Installing it makes every failpoint
+    /// succeed while still counting hits for arms added later.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan whose probability arms draw from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            arms: HashMap::new(),
+        }
+    }
+
+    fn arm(mut self, name: &str, rule: Rule) -> Self {
+        self.arms.entry(name.to_string()).or_default().push(Arm {
+            rule,
+            hits: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Fail exactly the `nth` hit (0-based) of `name`. An `nth` of
+    /// `u64::MAX` is a practical "never fire, but count hits" probe —
+    /// [`FailScope::hits`] then reports how often the seam was
+    /// consulted.
+    pub fn fail_nth(self, name: &str, nth: u64) -> Self {
+        self.arm(name, Rule::Nth(nth))
+    }
+
+    /// Fail every hit of `name`.
+    pub fn fail_always(self, name: &str) -> Self {
+        self.arm(name, Rule::Always)
+    }
+
+    /// Fail each hit of `name` independently with probability `p`,
+    /// decided deterministically from the plan seed.
+    pub fn fail_with_probability(self, name: &str, p: f64) -> Self {
+        self.arm(name, Rule::Probability(p))
+    }
+
+    /// Install the plan process-wide and return the guard that keeps it
+    /// active. Serializes against every other installed plan: a second
+    /// `install` blocks until the first scope drops, so parallel test
+    /// threads cannot observe each other's faults. In release builds
+    /// the plan installs but [`check`] never consults it ([`ACTIVE`]).
+    pub fn install(self) -> FailScope {
+        let gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let state = Arc::new(PlanState {
+            seed: self.seed,
+            arms: self.arms,
+        });
+        *PLAN.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&state));
+        INSTALLED.store(true, Ordering::Release);
+        FailScope { state, _gate: gate }
+    }
+}
+
+static GATE: Mutex<()> = Mutex::new(());
+static PLAN: RwLock<Option<Arc<PlanState>>> = RwLock::new(None);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Keeps a [`FailPlan`] active; dropping it (normally or during a
+/// panic unwind) clears the plan and releases the process-wide gate.
+pub struct FailScope {
+    state: Arc<PlanState>,
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl FailScope {
+    /// How many times `name` has been consulted under this plan (0 if
+    /// the plan has no arm for it — add a `fail_nth(name, u64::MAX)`
+    /// probe arm to count without ever firing).
+    pub fn hits(&self, name: &str) -> u64 {
+        self.state.hits(name)
+    }
+}
+
+impl Drop for FailScope {
+    fn drop(&mut self) {
+        INSTALLED.store(false, Ordering::Release);
+        *PLAN.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Consult the failpoint `name`. Returns `Some` when the installed
+/// plan schedules a failure for this hit; the caller maps it into its
+/// own error type and returns `Err`. Constant-folds to `None` in
+/// release builds and costs one relaxed atomic load in debug builds
+/// with no plan installed.
+#[inline]
+pub fn check(name: &str) -> Option<Injected> {
+    if !ACTIVE || !INSTALLED.load(Ordering::Acquire) {
+        return None;
+    }
+    let plan = PLAN.read().unwrap_or_else(|e| e.into_inner()).clone()?;
+    plan.decide(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_plan_means_no_injection() {
+        assert_eq!(check(names::EPOCH_MERGE), None);
+    }
+
+    #[test]
+    fn nth_arm_fires_exactly_once() {
+        let scope = FailPlan::new().fail_nth(names::SCHEDULER_PASS, 2).install();
+        let fired: Vec<bool> = (0..5)
+            .map(|_| check(names::SCHEDULER_PASS).is_some())
+            .collect();
+        assert_eq!(fired, [false, false, true, false, false]);
+        assert_eq!(scope.hits(names::SCHEDULER_PASS), 5);
+        // Other names are untouched.
+        assert_eq!(check(names::INGEST_OPEN), None);
+    }
+
+    #[test]
+    fn always_arm_reports_hit_index() {
+        let _scope = FailPlan::new().fail_always(names::INGEST_OPEN).install();
+        let first = check(names::INGEST_OPEN).expect("always arm must fire");
+        let second = check(names::INGEST_OPEN).expect("always arm must fire");
+        assert_eq!((first.hit, second.hit), (0, 1));
+        assert_eq!(first.name, names::INGEST_OPEN);
+        assert!(first.to_string().contains("injected fault at ingest/open"));
+    }
+
+    #[test]
+    fn probability_schedule_is_deterministic() {
+        let run = || {
+            let _scope = FailPlan::seeded(42)
+                .fail_with_probability(names::INGEST_FRAMED_FRAME, 0.3)
+                .install();
+            (0..64)
+                .map(|_| check(names::INGEST_FRAMED_FRAME).is_some())
+                .collect::<Vec<bool>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert!(a.iter().any(|&f| f), "p=0.3 over 64 hits should fire");
+        assert!(!a.iter().all(|&f| f), "p=0.3 should not always fire");
+
+        let other = {
+            let _scope = FailPlan::seeded(43)
+                .fail_with_probability(names::INGEST_FRAMED_FRAME, 0.3)
+                .install();
+            (0..64)
+                .map(|_| check(names::INGEST_FRAMED_FRAME).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_ne!(a, other, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn scope_drop_clears_the_plan() {
+        {
+            let _scope = FailPlan::new().fail_always(names::EPOCH_MERGE).install();
+            assert!(check(names::EPOCH_MERGE).is_some());
+        }
+        assert_eq!(check(names::EPOCH_MERGE), None);
+    }
+
+    #[test]
+    fn all_lists_every_name_once() {
+        let mut names: Vec<&str> = names::ALL.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), super::names::ALL.len());
+    }
+}

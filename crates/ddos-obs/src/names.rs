@@ -19,3 +19,11 @@ pub const INGEST_WORKERS: &str = "ingest/workers";
 pub const INGEST_CSV_PARSE: &str = "ingest/csv_parse";
 /// Histogram: attack rows per CSV import.
 pub const INGEST_CSV_ROWS: &str = "ingest/csv_rows";
+/// Counter: faults injected by the `ddos-failpoints` seam that the
+/// pipeline surfaced as `Err` (testkit fault suites assert this moves
+/// in lockstep with the errors they observe).
+pub const FAULTS_INJECTED: &str = "faults/injected";
+/// Counter: seeded soak rounds completed by the conformance driver.
+pub const SOAK_ROUNDS: &str = "soak/rounds";
+/// Histogram: wall micros one variant cell took inside a soak round.
+pub const SOAK_CELL_US: &str = "soak/cell_us";

@@ -284,6 +284,7 @@ pub fn encode(ds: &Dataset) -> Bytes {
 /// This is the serial reference path; [`decode_any`] additionally
 /// understands the framed v2 container.
 pub fn decode(bytes: &[u8]) -> Result<Dataset, SchemaError> {
+    crate::fail::check(crate::fail::INGEST_V1_DECODE)?;
     let mut buf = Bytes::copy_from_slice(bytes);
     need(&buf, 4 + 2 + 16, "header")?;
     let mut magic = [0u8; 4];

@@ -69,6 +69,8 @@ where
 pub fn attacks_from_csv(text: &str) -> Result<Vec<AttackRecord>, SchemaError> {
     let lines = indexed_lines(text);
     let data = check_header(&lines)?;
+    // The serial parse counts as one chunk at the failpoint.
+    crate::fail::check(crate::fail::INGEST_CSV_CHUNK)?;
     let mut out = Vec::with_capacity(data.len());
     // One field buffer reused across all rows instead of a fresh
     // `Vec<&str>` per row; `parse_line` only reads it within the call.
@@ -103,6 +105,7 @@ pub fn attacks_from_csv_chunked_with(
     let data = check_header(&lines)?;
     let workers = workers.min(data.len() / MIN_ROWS_PER_CHUNK);
     if workers <= 1 {
+        crate::fail::check(crate::fail::INGEST_CSV_CHUNK)?;
         let mut out = Vec::with_capacity(data.len());
         let mut fields: Vec<&str> = Vec::with_capacity(14);
         for &(lineno, line) in data {
@@ -117,6 +120,7 @@ pub fn attacks_from_csv_chunked_with(
             .iter()
             .map(|&chunk| {
                 scope.spawn(move |_| {
+                    crate::fail::check(crate::fail::INGEST_CSV_CHUNK)?;
                     let mut out = Vec::with_capacity(chunk.len());
                     let mut fields: Vec<&str> = Vec::with_capacity(14);
                     for &(lineno, line) in chunk {

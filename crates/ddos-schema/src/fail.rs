@@ -1,0 +1,47 @@
+//! Crate-internal shim over the `ddos-failpoints` seam.
+//!
+//! With the `failpoints` feature off this module compiles to empty
+//! inline functions, so call sites stay zero-cost without sprinkling
+//! `cfg` through the ingest paths. With the feature on, an injected
+//! fault surfaces as [`SchemaError::Io`] carrying the failpoint name
+//! and hit index — indistinguishable from a real I/O failure to
+//! callers, which is the point.
+
+use crate::error::SchemaError;
+
+// Canonical names come from ddos-failpoints when the seam is compiled
+// in. The feature-off fallbacks only keep call sites compiling — the
+// stub `check` ignores its argument entirely.
+#[cfg(feature = "failpoints")]
+pub(crate) use ddos_failpoints::names::{
+    INGEST_CSV_CHUNK, INGEST_FRAMED_FRAME, INGEST_FRAMED_HEADER, INGEST_OPEN, INGEST_V1_DECODE,
+};
+
+#[cfg(not(feature = "failpoints"))]
+mod names_off {
+    pub const INGEST_OPEN: &str = "ingest/open";
+    pub const INGEST_V1_DECODE: &str = "ingest/v1/decode";
+    pub const INGEST_FRAMED_HEADER: &str = "ingest/framed/header";
+    pub const INGEST_FRAMED_FRAME: &str = "ingest/framed/frame";
+    pub const INGEST_CSV_CHUNK: &str = "ingest/csv/chunk";
+}
+#[cfg(not(feature = "failpoints"))]
+pub(crate) use names_off::*;
+
+/// Consult the failpoint `name`; `Err` when the installed plan
+/// schedules a failure for this hit.
+#[cfg(feature = "failpoints")]
+#[inline]
+pub(crate) fn check(name: &str) -> Result<(), SchemaError> {
+    match ddos_failpoints::check(name) {
+        Some(injected) => Err(SchemaError::Io(injected.to_string())),
+        None => Ok(()),
+    }
+}
+
+/// Feature-off stub: always succeeds, compiles to nothing.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn check(_name: &str) -> Result<(), SchemaError> {
+    Ok(())
+}

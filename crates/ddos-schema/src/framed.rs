@@ -370,6 +370,8 @@ pub fn decode_with_workers(
         )));
     }
 
+    crate::fail::check(crate::fail::INGEST_FRAMED_HEADER)?;
+
     // Size each section once from the directory's record counts,
     // bounded by the payload size (every record is > 1 byte on the
     // wire) so corrupt counts cannot oversize an allocation.
@@ -463,6 +465,7 @@ fn decode_frame_into(
     payload: &[u8],
     sections: &mut Sections,
 ) -> Result<(), SchemaError> {
+    crate::fail::check(crate::fail::INGEST_FRAMED_FRAME)?;
     // The directory contiguity check proved this range is in bounds.
     let body = &payload[meta.offset..meta.offset + meta.len];
     if checksum64(body) != meta.checksum {
@@ -515,6 +518,7 @@ fn decode_frame_into(
 }
 
 fn decode_frame(meta: &FrameMeta, idx: usize, payload: &[u8]) -> Result<FramePayload, SchemaError> {
+    crate::fail::check(crate::fail::INGEST_FRAMED_FRAME)?;
     // The directory contiguity check proved this range is in bounds.
     let body = &payload[meta.offset..meta.offset + meta.len];
     if checksum64(body) != meta.checksum {

@@ -41,6 +41,7 @@ pub mod codec;
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub(crate) mod fail;
 pub mod family;
 pub mod framed;
 pub mod geo;

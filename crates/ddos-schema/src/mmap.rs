@@ -33,6 +33,7 @@ impl Dataset {
     pub fn open_with_stats(path: impl AsRef<Path>) -> Result<(Dataset, IngestStats), SchemaError> {
         let path = path.as_ref();
         let io_err = |e: std::io::Error| SchemaError::Io(format!("{}: {e}", path.display()));
+        crate::fail::check(crate::fail::INGEST_OPEN)?;
         let file = File::open(path).map_err(io_err)?;
         let map = Mmap::map(&file).map_err(io_err)?;
         codec::decode_any_with_stats(&map)

@@ -1,0 +1,101 @@
+//! Digest plumbing, the shared small trace, and the assertion helpers
+//! the integration suites (and the soak loop) build on.
+
+use std::sync::OnceLock;
+
+use ddos_analytics::{AnalysisReport, PipelineOptions};
+use ddos_obs::fnv1a_64_hex;
+use ddos_schema::Dataset;
+use ddos_sim::{generate, GeneratedTrace, SimConfig};
+
+use crate::variant::Cell;
+
+/// The canonical report digest: FNV-1a 64 over the serialized JSON,
+/// formatted exactly like `tests/golden/report_small.digest`.
+pub fn report_digest(report: &AnalysisReport) -> String {
+    let json = serde_json::to_string(report).expect("report serializes");
+    fnv1a_64_hex(json.as_bytes())
+}
+
+/// The committed golden digest for the canonical small trace.
+pub fn golden_digest() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/report_small.digest"
+    );
+    std::fs::read_to_string(path)
+        .expect("reading tests/golden/report_small.digest")
+        .trim()
+        .to_string()
+}
+
+/// The canonical small trace (`SimConfig::small`), generated once per
+/// process and shared by every suite that pins the golden digest.
+pub fn small_trace() -> &'static GeneratedTrace {
+    static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| generate(&SimConfig::small()))
+}
+
+/// The canonical small trace's dataset.
+pub fn small_dataset() -> &'static Dataset {
+    &small_trace().dataset
+}
+
+/// Runs every cell against `ds` and asserts they all serialize to the
+/// same bytes, returning the agreed digest. Panics naming the first
+/// diverging cell (and the reference cell it diverged from).
+pub fn assert_cells_agree(ds: &Dataset, cells: &[Cell]) -> String {
+    assert!(!cells.is_empty(), "empty cell list");
+    let mut agreed: Option<(String, &Cell)> = None;
+    for cell in cells {
+        let digest = report_digest(&cell.run(ds));
+        match &agreed {
+            None => agreed = Some((digest, cell)),
+            Some((want, reference)) => assert_eq!(
+                &digest, want,
+                "variant cell `{cell}` diverged from `{reference}`"
+            ),
+        }
+    }
+    agreed.expect("at least one cell ran").0
+}
+
+/// [`assert_cells_agree`] pinned to an expected digest (normally the
+/// committed [`golden_digest`]). Panics naming the diverging cell.
+pub fn assert_cells_match_golden(ds: &Dataset, cells: &[Cell], want: &str) {
+    for cell in cells {
+        let digest = report_digest(&cell.run(ds));
+        assert_eq!(
+            digest, want,
+            "variant cell `{cell}` diverged from the pinned digest; if the \
+             report change is intentional, regenerate with `repro --report-digest`"
+        );
+    }
+}
+
+/// Telemetry purity: recording telemetry must never perturb report
+/// bytes, and quiet runs must leave the artifact empty. Returns the
+/// offending description instead of panicking so the soak loop can
+/// fold it into a failure bundle.
+pub fn check_telemetry_purity(ds: &Dataset) -> Result<(), String> {
+    let on = AnalysisReport::run_opts(ds, PipelineOptions::default());
+    let off = AnalysisReport::run_opts(
+        ds,
+        PipelineOptions {
+            telemetry: false,
+            ..PipelineOptions::default()
+        },
+    );
+    let on_json = serde_json::to_string(&on).expect("report serializes");
+    let off_json = serde_json::to_string(&off).expect("report serializes");
+    if on_json != off_json {
+        return Err("telemetry recording perturbed report bytes".into());
+    }
+    if on.telemetry.spans.is_empty() {
+        return Err("recording run produced no telemetry spans".into());
+    }
+    if !off.telemetry.is_empty() {
+        return Err("quiet run leaked telemetry".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Correctness tooling for the ddos workspace: the differential
+//! conformance driver and the fault-injection harness.
+//!
+//! The workspace has accumulated many ways to compute the same report —
+//! serial vs crossbeam scheduling, `Reference` vs `Chunked` kernels,
+//! monolithic vs epoch-folded vs incremental vs streamed builds, v1 vs
+//! framed-v2 vs memory-mapped ingest. The paper's findings only hold if
+//! every combination agrees byte for byte. This crate makes that a
+//! first-class, reusable check instead of point-wise suites:
+//!
+//! * [`variant`] — the lattice itself: a [`Cell`] names one point
+//!   (ingest × build × scheduler × kernels), [`matrix`] enumerates the
+//!   curated ≥24-cell coverage set, [`matrix_full`] the exhaustive
+//!   cross product for soak runs.
+//! * [`conformance`] — digest plumbing ([`report_digest`], the
+//!   committed [`golden_digest`]), the shared small trace, and the
+//!   assertion helpers the integration suites build on.
+//! * [`faults`] — drive any named failpoint (see [`failpoints`]) to an
+//!   `Err`, then prove the retry without the fault reproduces the
+//!   clean result.
+//! * [`soak`] — N seeded rounds of the full differential check
+//!   (`repro --soak N`), emitting a reproducible failure bundle on the
+//!   first divergence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod faults;
+pub mod soak;
+pub mod variant;
+
+/// Re-export of the seam crate, so tests depending on `ddos-testkit`
+/// build `FailPlan`s without naming `ddos-failpoints` themselves.
+pub use ddos_failpoints as failpoints;
+
+pub use conformance::{
+    assert_cells_agree, assert_cells_match_golden, check_telemetry_purity, golden_digest,
+    report_digest, small_dataset, small_trace,
+};
+pub use faults::inject_and_recover;
+pub use soak::{run_soak, SoakFailure, SoakOptions, SoakRound, SoakSummary};
+pub use variant::{matrix, matrix_full, Build, Cell, CellError, Ingest, Kernels, Scheduler};

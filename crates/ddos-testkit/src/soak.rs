@@ -1,0 +1,230 @@
+//! The seeded soak loop behind `repro --soak N`.
+//!
+//! Each round draws a fresh trace from a deterministic per-round seed,
+//! runs it through every cell of the variant matrix, and asserts all
+//! cells agree byte for byte (plus telemetry purity, plus — in debug
+//! builds — one fault-injection/recovery probe rotating through the
+//! named failpoints). The first divergence stops the run and yields a
+//! [`SoakFailure`] carrying everything needed to reproduce it:
+//! the round seed, the scale, the variant cell, and the digest pair.
+//! `repro` serializes that bundle to `SOAK_FAILURE.json` and CI
+//! uploads it as an artifact.
+//!
+//! Reproducing a failure locally is one command:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin repro -- \
+//!     --soak 1 --soak-seed <seed from the bundle>
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use ddos_failpoints::names as fp_names;
+use ddos_obs::{names, Obs};
+use ddos_sim::{generate, SimConfig};
+use serde::Serialize;
+
+use crate::conformance::{check_telemetry_purity, report_digest};
+use crate::faults::inject_and_recover;
+use crate::variant::{matrix, matrix_full, Cell};
+
+/// Knobs for one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakOptions {
+    /// Number of seeded rounds.
+    pub rounds: u32,
+    /// Base seed; round `r` derives its trace seed deterministically
+    /// from it, so any failure names the exact seed to replay.
+    pub base_seed: u64,
+    /// Sim volume scale (0.05 is the CI smoke size, 1.0 paper scale).
+    pub scale: f64,
+    /// Use the exhaustive [`matrix_full`] instead of the curated
+    /// [`matrix`].
+    pub full_matrix: bool,
+    /// Run the rotating fault-injection probe each round (no-op in
+    /// release builds, where the seam is compiled out).
+    pub faults: bool,
+}
+
+impl Default for SoakOptions {
+    fn default() -> Self {
+        SoakOptions {
+            rounds: 2,
+            base_seed: 0x0DD0_5EED,
+            scale: 0.05,
+            full_matrix: false,
+            faults: true,
+        }
+    }
+}
+
+/// What one completed round did.
+#[derive(Debug, Clone, Serialize)]
+pub struct SoakRound {
+    /// Zero-based round index.
+    pub round: u32,
+    /// The trace seed this round generated from.
+    pub seed: u64,
+    /// Cells run (all agreed).
+    pub cells: usize,
+    /// The digest every cell agreed on.
+    pub digest: String,
+    /// The failpoint probed this round, if the probe ran.
+    pub probed: Option<String>,
+}
+
+/// A finished, fully green soak run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SoakSummary {
+    /// Per-round outcomes, in order.
+    pub rounds: Vec<SoakRound>,
+}
+
+/// The repro bundle for the first divergence a soak run hit.
+#[derive(Debug, Clone, Serialize)]
+pub struct SoakFailure {
+    /// Round index that failed.
+    pub round: u32,
+    /// Trace seed to replay (`repro --soak 1 --soak-seed <seed>`).
+    pub seed: u64,
+    /// Sim scale the round ran at.
+    pub scale: f64,
+    /// Label of the diverging variant cell (or the pseudo-cells
+    /// `telemetry-purity` / `failpoint:<name>`).
+    pub cell: String,
+    /// Digest the round's reference cell produced.
+    pub expected: String,
+    /// Digest (or error) the diverging cell produced.
+    pub got: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl SoakFailure {
+    /// Writes the bundle as pretty JSON (the `SOAK_FAILURE.json`
+    /// artifact CI uploads on failure).
+    pub fn write_bundle(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("bundle serializes");
+        std::fs::write(path, json + "\n")
+    }
+
+    /// The one-liner telling a human how to replay this failure.
+    pub fn repro_hint(&self) -> String {
+        format!(
+            "repro: cargo run --release -p bench --bin repro -- --soak 1 \
+             --soak-seed 0x{:X} (cell `{}`)",
+            self.seed, self.cell
+        )
+    }
+}
+
+/// Derives round `r`'s trace seed from the base seed (golden-ratio
+/// stride, so nearby rounds decorrelate).
+pub fn round_seed(base_seed: u64, round: u32) -> u64 {
+    base_seed.wrapping_add((round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs the soak loop. `progress` fires after each green round (repro
+/// prints a table row from it). Returns the first failure as an `Err`
+/// bundle; boxed because the green path should stay cheap to return.
+pub fn run_soak(
+    opts: &SoakOptions,
+    obs: &Obs,
+    mut progress: impl FnMut(&SoakRound),
+) -> Result<SoakSummary, Box<SoakFailure>> {
+    let cells: Vec<Cell> = if opts.full_matrix {
+        matrix_full()
+    } else {
+        matrix()
+    };
+    let cell_hist = obs.histogram(names::SOAK_CELL_US);
+    let round_counter = obs.counter(names::SOAK_ROUNDS);
+    let mut rounds = Vec::with_capacity(opts.rounds as usize);
+    for round in 0..opts.rounds {
+        let seed = round_seed(opts.base_seed, round);
+        let cfg = SimConfig {
+            seed,
+            scale: opts.scale,
+            ..SimConfig::small()
+        };
+        let ds = &generate(&cfg).dataset;
+        let fail = |cell: String, expected: String, got: String, detail: String| {
+            Box::new(SoakFailure {
+                round,
+                seed,
+                scale: opts.scale,
+                cell,
+                expected,
+                got,
+                detail,
+            })
+        };
+        // Differential sweep: every cell must agree with the first.
+        let mut want: Option<(String, &Cell)> = None;
+        for cell in &cells {
+            let t0 = Instant::now();
+            let digest = match cell.try_run(ds) {
+                Ok(report) => report_digest(&report),
+                Err(e) => {
+                    return Err(fail(
+                        cell.label(),
+                        want.map(|(d, _)| d).unwrap_or_default(),
+                        format!("error: {e}"),
+                        "variant cell errored with no fault plan installed".into(),
+                    ))
+                }
+            };
+            cell_hist.record(t0.elapsed().as_micros() as u64);
+            match &want {
+                None => want = Some((digest, cell)),
+                Some((expected, reference)) => {
+                    if &digest != expected {
+                        return Err(fail(
+                            cell.label(),
+                            expected.clone(),
+                            digest,
+                            format!("diverged from reference cell `{reference}`"),
+                        ));
+                    }
+                }
+            }
+        }
+        let (digest, _) = want.expect("matrix is never empty");
+        if let Err(detail) = check_telemetry_purity(ds) {
+            return Err(fail(
+                "telemetry-purity".into(),
+                digest.clone(),
+                String::new(),
+                detail,
+            ));
+        }
+        // Rotating fault probe: one failpoint per round, full
+        // inject-error-retry-recover cycle (debug builds only).
+        let probed = if opts.faults && ddos_failpoints::ACTIVE {
+            let name = fp_names::ALL[(round as usize) % fp_names::ALL.len()];
+            if let Err(detail) = inject_and_recover(name, ds) {
+                return Err(fail(
+                    format!("failpoint:{name}"),
+                    digest.clone(),
+                    String::new(),
+                    detail,
+                ));
+            }
+            Some(name.to_string())
+        } else {
+            None
+        };
+        round_counter.inc();
+        let summary = SoakRound {
+            round,
+            seed,
+            cells: cells.len(),
+            digest,
+            probed,
+        };
+        progress(&summary);
+        rounds.push(summary);
+    }
+    Ok(SoakSummary { rounds })
+}

@@ -1,0 +1,26 @@
+//! The differential conformance matrix, pinned to the committed golden
+//! digest: every cell of `testkit::matrix()` (≥24 variants across
+//! ingest × build × scheduler × kernels) must serialize the canonical
+//! small trace's report to exactly the committed bytes.
+
+use ddos_testkit::{assert_cells_match_golden, golden_digest, matrix, small_dataset};
+
+#[test]
+fn matrix_covers_at_least_24_cells() {
+    assert!(matrix().len() >= 24, "matrix shrank: {}", matrix().len());
+}
+
+#[test]
+fn every_matrix_cell_matches_the_golden_digest() {
+    let want = golden_digest();
+    assert_cells_match_golden(small_dataset(), &matrix(), &want);
+}
+
+#[test]
+fn golden_digest_file_is_well_formed() {
+    let d = golden_digest();
+    assert!(
+        d.starts_with("fnv1a64:") && d.len() == "fnv1a64:".len() + 16,
+        "digest file malformed: {d:?}"
+    );
+}

@@ -1,0 +1,44 @@
+//! Soak driver smoke: two tiny seeded rounds must come back green and
+//! deterministic (same base seed ⇒ same per-round digests).
+
+use ddos_obs::Obs;
+use ddos_testkit::{run_soak, SoakOptions};
+
+fn opts() -> SoakOptions {
+    SoakOptions {
+        rounds: 2,
+        base_seed: 0xBEEF,
+        scale: 0.02,
+        full_matrix: false,
+        faults: true,
+    }
+}
+
+#[test]
+fn soak_smoke_is_green_and_deterministic() {
+    let run = |o: &SoakOptions| {
+        run_soak(o, &Obs::disabled(), |_| {}).unwrap_or_else(|f| {
+            panic!("soak failed: {} — {}", f.detail, f.repro_hint());
+        })
+    };
+    let a = run(&opts());
+    assert_eq!(a.rounds.len(), 2);
+    assert_ne!(
+        a.rounds[0].digest, a.rounds[1].digest,
+        "different seeds should produce different traces"
+    );
+    let b = run(&opts());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.seed, rb.seed);
+        assert_eq!(ra.digest, rb.digest, "soak is not deterministic");
+    }
+}
+
+#[test]
+fn soak_rounds_probe_failpoints_in_debug_builds() {
+    if !ddos_testkit::failpoints::ACTIVE {
+        return; // release: the seam (and the probe) is compiled out.
+    }
+    let summary = run_soak(&opts(), &Obs::disabled(), |_| {}).expect("soak green");
+    assert!(summary.rounds.iter().all(|r| r.probed.is_some()));
+}

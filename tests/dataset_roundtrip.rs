@@ -53,6 +53,52 @@ fn binary_encoding_is_much_denser_than_json() {
     );
 }
 
+// ------------------------------------------------- promoted regressions
+
+/// The shrunk counterexample from `dataset_roundtrip.proptest-regressions`
+/// (seed `98fd6852…`), promoted to a named test so it re-runs on every
+/// CI build regardless of the proptest runner's regression-file support.
+/// The original failure was a single-attack dataset whose record mixes
+/// extremes: zero-valued ids alongside a near-`u64::MAX` attack id,
+/// a southern-hemisphere coordinate, and a full 5-source list.
+#[test]
+fn regression_single_extreme_record_round_trips() {
+    let attack = AttackRecord {
+        id: DdosId(3945675640486820723),
+        botnet: BotnetId(0),
+        family: Family::Aldibot,
+        category: Protocol::Http,
+        target_ip: IpAddr4(0),
+        target: Location {
+            country: "US".parse::<CountryCode>().unwrap(),
+            city: CityId(0),
+            org: OrgId(0),
+            asn: Asn(9866),
+            coords: LatLon::new(-70.51412646754858, 95.69015784959879).unwrap(),
+        },
+        start: Timestamp(405931),
+        end: Timestamp(490838),
+        sources: [
+            3926682790u32,
+            3594714260,
+            2735647511,
+            1921924798,
+            4000217094,
+        ]
+        .into_iter()
+        .map(IpAddr4)
+        .collect(),
+    };
+    let window = Window::new(Timestamp(0), Timestamp(2_000_000)).unwrap();
+    let mut builder = DatasetBuilder::new(window);
+    builder.push_attack(attack).unwrap();
+    let ds = builder.build().unwrap();
+    let back = codec::decode(&codec::encode(&ds)).unwrap();
+    assert_eq!(back.attacks(), ds.attacks());
+    let back_json = codec::from_json(&codec::to_json(&ds)).unwrap();
+    assert_eq!(back_json.attacks(), ds.attacks());
+}
+
 // ------------------------------------------------------ property tests
 
 fn arb_location() -> impl Strategy<Value = Location> {

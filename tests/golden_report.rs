@@ -2,15 +2,13 @@
 //!
 //! `tests/golden/report_small.digest` pins the FNV-1a 64 digest of the
 //! canonical small-trace report (`SimConfig::small`, the same trace the
-//! rest of the integration suite analyzes). One table-driven test runs
-//! the pipeline every way it can be run — parallel, serial, telemetry
-//! off, the pass scheduler over a columnar or reference-built context,
-//! the pre-refactor monolithic baseline, a framed-v2 round-tripped
-//! copy of the trace, every kernel policy (the PR 6
-//! reference bodies, intra-pass parallelism forced on via fixed chunk
-//! sizes), and the epoch-sharded engine
-//! (batch fold, incremental append, streaming feed replay) — and asserts each variant's
-//! serialized report matches the committed digest byte for byte.
+//! rest of the integration suite analyzes). The variant enumeration —
+//! schedulers, kernel policies, context builds (batch fold, incremental
+//! append, streaming feed replay), ingest round-trips, and the
+//! pre-refactor monolithic baseline — lives in `ddos_testkit::matrix`;
+//! this suite pins every cell of it, plus the variants the lattice
+//! cannot express (telemetry off, a pre-built context handed straight
+//! to the scheduler), to the committed digest byte for byte.
 //!
 //! If a change *intends* to alter report output, regenerate the file:
 //!
@@ -23,66 +21,34 @@
 //! on arbitrary sim configurations, recording telemetry never perturbs
 //! report bytes.
 
-use std::sync::OnceLock;
-
-use ddos_analytics::{AnalysisContext, AnalysisReport, KernelPolicy, PipelineOptions, StreamFold};
-use ddos_obs::{fnv1a_64_hex, Obs};
-use ddos_schema::{framed, Seconds};
-use ddos_sim::{generate, GeneratedTrace, SimConfig};
+use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
+use ddos_sim::{generate, SimConfig};
 use ddos_stats::ArimaSpec;
+use ddos_testkit::{
+    assert_cells_match_golden, golden_digest, matrix, report_digest, small_dataset,
+};
 use proptest::prelude::*;
-
-fn trace() -> &'static GeneratedTrace {
-    static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
-    TRACE.get_or_init(|| generate(&SimConfig::small()))
-}
-
-fn digest(report: &AnalysisReport) -> String {
-    let json = serde_json::to_string(report).expect("report serializes");
-    fnv1a_64_hex(json.as_bytes())
-}
-
-fn golden_digest() -> String {
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../tests/golden/report_small.digest"
-    );
-    std::fs::read_to_string(path)
-        .expect("reading tests/golden/report_small.digest")
-        .trim()
-        .to_string()
-}
 
 #[test]
 fn every_pipeline_variant_matches_the_golden_digest() {
-    let ds = &trace().dataset;
-    let serial_opts = PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    };
+    assert_cells_match_golden(small_dataset(), &matrix(), &golden_digest());
+}
+
+/// The variants the lattice cannot express: telemetry switched off, and
+/// a context built outside the pipeline then handed to the scheduler
+/// (columnar serial build under the parallel schedule, reference build
+/// under the serial one).
+#[test]
+fn off_lattice_variants_match_the_golden_digest() {
+    let ds = small_dataset();
     let quiet_opts = PipelineOptions {
         telemetry: false,
         ..PipelineOptions::default()
     };
     let variants: Vec<(&str, AnalysisReport)> = vec![
         (
-            "parallel",
-            AnalysisReport::run_opts(ds, PipelineOptions::default()),
-        ),
-        ("serial", AnalysisReport::run_opts(ds, serial_opts)),
-        (
             "parallel, telemetry off",
             AnalysisReport::run_opts(ds, quiet_opts),
-        ),
-        (
-            "monolithic baseline",
-            AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT),
-        ),
-        (
-            "framed v2 round-tripped dataset",
-            AnalysisReport::run(
-                &framed::decode(&framed::encode(ds)).expect("framed v2 round trip"),
-            ),
         ),
         (
             "scheduler over columnar serial context",
@@ -98,67 +64,11 @@ fn every_pipeline_variant_matches_the_golden_digest() {
                 false,
             ),
         ),
-        (
-            "reference kernel policy (PR 6 pass bodies)",
-            AnalysisReport::run_opts(
-                ds,
-                PipelineOptions {
-                    kernels: KernelPolicy::Reference,
-                    ..PipelineOptions::default()
-                },
-            ),
-        ),
-        (
-            "intra-pass parallelism forced on (chunk size 1)",
-            AnalysisReport::run_opts(
-                ds,
-                PipelineOptions {
-                    kernels: KernelPolicy::Chunked(1),
-                    ..PipelineOptions::default()
-                },
-            ),
-        ),
-        (
-            "intra-pass parallelism forced on (chunk size 3)",
-            AnalysisReport::run_opts(
-                ds,
-                PipelineOptions {
-                    kernels: KernelPolicy::Chunked(3),
-                    ..PipelineOptions::default()
-                },
-            ),
-        ),
-        (
-            "epoch-folded (weekly)",
-            AnalysisReport::run_epochs(ds, PipelineOptions::default(), Seconds::WEEK),
-        ),
-        (
-            "epoch-folded (odd epoch length)",
-            AnalysisReport::run_epochs(ds, serial_opts, Seconds(100_000)),
-        ),
-        (
-            "incremental (weekly)",
-            AnalysisReport::run_incremental(ds, PipelineOptions::default(), Seconds::WEEK),
-        ),
-        ("streamed fold (weekly)", {
-            let obs = Obs::disabled();
-            let mut fold = StreamFold::new(ds.window());
-            for batch in ddos_sim::feed::replay_epochs(ds, Seconds::WEEK) {
-                fold.push(&batch, &obs);
-            }
-            AnalysisReport::run_on(
-                &fold
-                    .finish()
-                    .expect("the golden trace has at least one epoch")
-                    .into_context(ds, ArimaSpec::DEFAULT),
-                false,
-            )
-        }),
     ];
     let want = golden_digest();
     for (name, report) in &variants {
         assert_eq!(
-            digest(report),
+            report_digest(report),
             want,
             "pipeline variant `{name}` diverged from the golden report \
              digest; if the report change is intentional, regenerate with \

@@ -10,7 +10,9 @@
 //!   directories, and overlapping frame offsets are reported as
 //!   `Err(SchemaError)`, never a panic or a silently wrong dataset.
 
-use ddos_schema::{codec, framed, Dataset, SchemaError};
+use std::sync::OnceLock;
+
+use ddos_schema::{codec, csv, framed, Dataset, SchemaError};
 use ddos_sim::{generate, SimConfig};
 use proptest::prelude::*;
 
@@ -73,8 +75,13 @@ proptest! {
 }
 
 fn small_v2() -> bytes::Bytes {
-    let ds = generate(&SimConfig::small()).dataset;
-    framed::encode(&ds)
+    static CLEAN: OnceLock<bytes::Bytes> = OnceLock::new();
+    CLEAN
+        .get_or_init(|| {
+            let ds = generate(&SimConfig::small()).dataset;
+            framed::encode(&ds)
+        })
+        .clone()
 }
 
 /// Payload byte offset of the first frame, read from the directory the
@@ -215,4 +222,200 @@ fn wrong_versions_are_cross_rejected() {
     // The sniffing entry point accepts both.
     assert_eq!(&fingerprint(&codec::decode_any(&v1).unwrap()), &v1);
     assert_eq!(&fingerprint(&codec::decode_any(&v2).unwrap()), &v1);
+}
+
+// ----------------------------------------- structured container fuzzing
+
+/// Byte ranges of the directory entries in a *clean* v2 container
+/// (layout per entry: kind(1) family(1) count(v) offset(v) len(v)
+/// checksum(8)), for the frame-reorder mutation below.
+fn directory_entry_ranges(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let varint_end = |bytes: &[u8], pos: &mut usize| {
+        while bytes[*pos] & 0x80 != 0 {
+            *pos += 1;
+        }
+        *pos += 1;
+    };
+    let varint = |bytes: &[u8], pos: &mut usize| {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = bytes[*pos];
+            *pos += 1;
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return v;
+            }
+            shift += 7;
+        }
+    };
+    let mut pos = 4 + 2 + 16;
+    let n_frames = varint(bytes, &mut pos);
+    varint_end(bytes, &mut pos); // payload length
+    let mut ranges = Vec::with_capacity(n_frames as usize);
+    for _ in 0..n_frames {
+        let start = pos;
+        pos += 2;
+        varint_end(bytes, &mut pos);
+        varint_end(bytes, &mut pos);
+        varint_end(bytes, &mut pos);
+        pos += 8;
+        ranges.push(start..pos);
+    }
+    ranges
+}
+
+/// Swaps two directory entries (by their clean-container byte ranges)
+/// inside `bad`, if both ranges survived earlier mutations in-bounds.
+fn swap_directory_entries(
+    bad: &mut Vec<u8>,
+    ranges: &[std::ops::Range<usize>],
+    i: usize,
+    j: usize,
+) {
+    if ranges.len() < 2 {
+        return;
+    }
+    let (i, j) = (i % ranges.len(), j % ranges.len());
+    let (a, b) = (ranges[i.min(j)].clone(), ranges[i.max(j)].clone());
+    if i == j || b.end > bad.len() {
+        return;
+    }
+    let mut rebuilt = Vec::with_capacity(bad.len());
+    rebuilt.extend_from_slice(&bad[..a.start]);
+    rebuilt.extend_from_slice(&bad[b.clone()]);
+    rebuilt.extend_from_slice(&bad[a.end..b.start]);
+    rebuilt.extend_from_slice(&bad[a.clone()]);
+    rebuilt.extend_from_slice(&bad[b.end..]);
+    *bad = rebuilt;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structured fuzzing of the v2 directory decoder: arbitrary
+    /// compositions of byte flips, length edits (truncate/extend), and
+    /// frame reorders applied to a valid container must either error or
+    /// decode consistently — never panic. The serial and worker decode
+    /// paths must agree on accept/reject, and anything accepted must
+    /// re-encode and round-trip cleanly. (The header window bytes are
+    /// not checksummed, so a mutation there may legitimately decode to
+    /// a *different* valid dataset — consistency, not bit-rejection, is
+    /// the contract.)
+    #[test]
+    fn mutated_containers_error_or_round_trip_never_panic(
+        mutations in prop::collection::vec(
+            (0u8..3, any::<usize>(), any::<u8>()),
+            1..4,
+        ),
+        workers in 2usize..6,
+    ) {
+        let clean = small_v2();
+        let ranges = directory_entry_ranges(&clean);
+        let mut bad = clean.to_vec();
+        for (kind, pos, val) in mutations {
+            match kind {
+                0 => {
+                    // Byte flip (always at least one bit).
+                    let i = pos % bad.len();
+                    bad[i] ^= val | 1;
+                }
+                1 => {
+                    // Length edit: truncate, or extend with junk.
+                    if val & 1 == 0 {
+                        bad.truncate(pos % (bad.len() + 1));
+                        if bad.is_empty() {
+                            bad.push(val);
+                        }
+                    } else {
+                        bad.extend(std::iter::repeat(val).take(1 + pos % 64));
+                    }
+                }
+                _ => swap_directory_entries(&mut bad, &ranges, pos, val as usize),
+            }
+        }
+        let serial = framed::decode(&bad);
+        let threaded = framed::decode_with_workers(&bad, workers);
+        prop_assert!(
+            serial.is_ok() == threaded.is_ok(),
+            "serial {:?} vs {} workers {:?}",
+            serial.as_ref().err().map(|e| e.to_string()),
+            workers,
+            threaded.as_ref().err().map(|e| e.to_string())
+        );
+        if let (Ok(a), Ok((b, _))) = (serial, threaded) {
+            prop_assert_eq!(&fingerprint(&a), &fingerprint(&b));
+            // Whatever was accepted must survive its own re-encoding.
+            let re = framed::encode(&a);
+            let back = framed::decode(&re).expect("re-encoded container decodes");
+            prop_assert_eq!(&fingerprint(&back), &fingerprint(&a));
+        }
+    }
+}
+
+// --------------------------------------- CSV chunked error attribution
+
+fn small_csv() -> &'static str {
+    static CSV: OnceLock<String> = OnceLock::new();
+    CSV.get_or_init(|| {
+        let ds = generate(&SimConfig::small()).dataset;
+        csv::attacks_to_csv(ds.attacks())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Error attribution under chunking: whatever rows are corrupted and
+    /// wherever the chunk boundaries fall, the chunked parser must
+    /// report exactly the error the serial parser reports — the one for
+    /// the earliest offending line.
+    #[test]
+    fn chunked_csv_reports_the_serial_first_error(
+        corrupt in prop::collection::vec((any::<usize>(), 0u8..2), 0..4),
+        workers in 2usize..10,
+    ) {
+        let lines: Vec<&str> = small_csv().lines().collect();
+        let n_rows = lines.len() - 1; // minus header
+        let mut mutated: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        let mut first_bad_line: Option<usize> = None;
+        for (row, kind) in corrupt {
+            let lineno = 1 + row % n_rows + 1; // 1-based, after the header
+            mutated[lineno - 1] = match kind {
+                0 => "not,enough,columns".to_string(),
+                _ => {
+                    // Break the first field (the attack id) in place.
+                    let line = &lines[lineno - 1];
+                    let rest = line.split_once(',').map(|(_, r)| r).unwrap_or("");
+                    format!("bogus,{rest}")
+                }
+            };
+            first_bad_line = Some(first_bad_line.map_or(lineno, |l| l.min(lineno)));
+        }
+        let text = mutated.join("\n");
+        let serial = csv::attacks_from_csv(&text);
+        let chunked = csv::attacks_from_csv_chunked_with(&text, workers);
+        match first_bad_line {
+            None => {
+                prop_assert_eq!(
+                    serial.as_ref().expect("clean csv parses serially"),
+                    chunked.as_ref().expect("clean csv parses chunked")
+                );
+            }
+            Some(lineno) => {
+                let serial = serial.expect_err("corrupt csv must fail serially");
+                let chunked = chunked.expect_err("corrupt csv must fail chunked");
+                prop_assert!(
+                    serial.to_string().contains(&format!("line {lineno}")),
+                    "serial error {serial} does not name line {lineno}"
+                );
+                let (serial, chunked) = (serial.to_string(), chunked.to_string());
+                prop_assert!(
+                    serial == chunked,
+                    "chunked ({workers} workers) error attribution diverged: \
+                     serial `{serial}` vs chunked `{chunked}`"
+                );
+            }
+        }
+    }
 }

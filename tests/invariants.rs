@@ -2,8 +2,6 @@
 //! internally satisfy the rules it claims to implement, on a full
 //! generated trace and on adversarial hand-built datasets.
 
-use std::sync::OnceLock;
-
 use ddos_analytics::collab::concurrent::{CollabAnalysis, DURATION_WINDOW_S, START_WINDOW_S};
 use ddos_analytics::collab::multistage::{MultistageAnalysis, CHAIN_MARGIN_S};
 use ddos_analytics::defense::BlacklistSim;
@@ -11,17 +9,10 @@ use ddos_analytics::overview::daily::DailyDistribution;
 use ddos_analytics::target::recurrence::{RecurrenceAnalysis, MIN_TRAIN_LEN};
 use ddos_analytics::util::BotIndex;
 use ddos_geo::distance_km;
-use ddos_schema::{Dataset, Family};
-use ddos_sim::{generate, GeneratedTrace, SimConfig};
-
-fn trace() -> &'static GeneratedTrace {
-    static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
-    TRACE.get_or_init(|| generate(&SimConfig::small()))
-}
-
-fn ds() -> &'static Dataset {
-    &trace().dataset
-}
+use ddos_schema::Family;
+// The canonical small trace is generated once per process by the
+// testkit and shared with every other suite that analyzes it.
+use ddos_testkit::small_dataset as ds;
 
 #[test]
 fn every_collab_pair_satisfies_the_rule() {

@@ -1,11 +1,16 @@
-//! The pass-based pipeline's contract: the parallel schedule, the serial
-//! fallback, and the pre-refactor baseline all serialize to the exact
-//! same report — on simulated traces and on arbitrary small datasets.
+//! The pass-based pipeline's contract: every cell of the testkit's
+//! variant matrix — schedulers, kernel policies, context builds, ingest
+//! round-trips, and the pre-refactor baseline — serializes to the exact
+//! same report, on simulated traces and on arbitrary small datasets.
 //! Likewise for the context build underneath: the columnar parallel
 //! build, the columnar serial build, and the pre-columnar reference
 //! build carry bit-identical analysis inputs.
+//!
+//! The variant enumeration itself lives in `ddos_testkit::matrix` (one
+//! definition shared with the golden suite and the soak loop); this
+//! suite only owns the dataset shapes it runs the matrix against.
 
-use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
+use ddos_analytics::AnalysisContext;
 use ddos_schema::record::{AttackRecord, BotRecord, Location};
 use ddos_schema::{
     Asn, BotnetId, CityId, CountryCode, Dataset, DatasetBuilder, DdosId, Family, IpAddr4, LatLon,
@@ -13,34 +18,14 @@ use ddos_schema::{
 };
 use ddos_sim::{generate, SimConfig};
 use ddos_stats::ArimaSpec;
+use ddos_testkit::{assert_cells_agree, matrix, small_dataset};
 use proptest::prelude::*;
-
-fn report_json(r: &AnalysisReport) -> String {
-    serde_json::to_string(r).expect("report serializes")
-}
-
-/// Runs all three pipeline variants and asserts byte-identical JSON.
-fn assert_all_variants_agree(ds: &Dataset) {
-    let parallel = AnalysisReport::run_opts(ds, PipelineOptions::default());
-    let serial = AnalysisReport::run_opts(
-        ds,
-        PipelineOptions {
-            parallel: false,
-            ..PipelineOptions::default()
-        },
-    );
-    let baseline = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
-    let pj = report_json(&parallel);
-    assert_eq!(pj, report_json(&serial), "parallel vs serial diverged");
-    assert_eq!(
-        pj,
-        report_json(&baseline),
-        "pass pipeline vs baseline diverged"
-    );
-}
 
 /// Builds the context all three ways and asserts the analysis inputs
 /// (dispersion series bit-for-bit, weekly bot maps, timelines) agree.
+/// Digest agreement across matrix cells checks the *outputs*; this
+/// checks the intermediate inputs, so a compensating double-bug cannot
+/// slip through.
 fn assert_context_builds_agree(ds: &Dataset) {
     let serial = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, false);
     let parallel = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, true);
@@ -51,14 +36,12 @@ fn assert_context_builds_agree(ds: &Dataset) {
 
 #[test]
 fn simulated_trace_reports_are_byte_identical() {
-    let trace = generate(&SimConfig::small());
-    assert_all_variants_agree(&trace.dataset);
+    assert_cells_agree(small_dataset(), &matrix());
 }
 
 #[test]
 fn simulated_trace_context_builds_are_bit_identical() {
-    let trace = generate(&SimConfig::small());
-    assert_context_builds_agree(&trace.dataset);
+    assert_context_builds_agree(small_dataset());
 }
 
 /// Paper-scale variant of the equivalence check (~50k attacks). Slow in
@@ -67,7 +50,7 @@ fn simulated_trace_context_builds_are_bit_identical() {
 #[ignore = "paper-scale trace; minutes in debug builds"]
 fn paper_scale_reports_are_byte_identical() {
     let trace = generate(&SimConfig::default());
-    assert_all_variants_agree(&trace.dataset);
+    assert_cells_agree(&trace.dataset, &matrix());
     assert_context_builds_agree(&trace.dataset);
 }
 
@@ -162,7 +145,7 @@ proptest! {
             }
         }
         let ds = builder.build().unwrap();
-        assert_all_variants_agree(&ds);
+        assert_cells_agree(&ds, &matrix());
         assert_context_builds_agree(&ds);
     }
 }
