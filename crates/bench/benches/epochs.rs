@@ -4,7 +4,7 @@
 
 use bench::bench_trace;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ddos_analytics::{AnalysisContext, AnalysisReport, EpochContext, PipelineOptions};
+use ddos_analytics::{Analysis, AnalysisContext, EpochContext, PipelineOptions};
 use ddos_obs::Obs;
 use ddos_schema::Seconds;
 use ddos_stats::ArimaSpec;
@@ -13,10 +13,7 @@ fn bench_epochs(c: &mut Criterion) {
     let trace = bench_trace();
     let ds = &trace.dataset;
     let epoch_len = Seconds::WEEK;
-    let opts = PipelineOptions {
-        telemetry: false,
-        ..PipelineOptions::default()
-    };
+    let opts = PipelineOptions::new().telemetry(false);
 
     let mut g = c.benchmark_group("epoch_context");
     g.sample_size(10);
@@ -58,13 +55,21 @@ fn bench_epochs(c: &mut Criterion) {
     let mut g = c.benchmark_group("epoch_pipeline");
     g.sample_size(10);
     g.bench_function("batch", |b| {
-        b.iter(|| black_box(AnalysisReport::run_opts(ds, opts)))
+        b.iter(|| black_box(Analysis::new(ds).options(opts).run()))
     });
     g.bench_function("epoch_folded", |b| {
-        b.iter(|| black_box(AnalysisReport::run_epochs(ds, opts, epoch_len)))
+        b.iter(|| black_box(Analysis::new(ds).options(opts).epochs(epoch_len).run()))
     });
     g.bench_function("incremental_total", |b| {
-        b.iter(|| black_box(AnalysisReport::run_incremental(ds, opts, epoch_len)))
+        b.iter(|| {
+            black_box(
+                Analysis::new(ds)
+                    .options(opts)
+                    .epochs(epoch_len)
+                    .incremental()
+                    .run(),
+            )
+        })
     });
     // The marginal epoch: everything-but-the-last pre-folded, so the
     // routine times clone + shard build + merge — the incremental

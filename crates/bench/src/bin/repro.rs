@@ -20,6 +20,10 @@
 //! repro --ingest-bench  # time v1 serial vs framed v2 decode and serial
 //!                       # vs chunked CSV parse, emit BENCH_ingest.json
 //! repro --ingest-bench --smoke  # same on the small trace (CI mode)
+//! repro --serve-bench   # concurrent query throughput over the snapshot
+//!                       # service, snapshot-isolation hard gate,
+//!                       # emit BENCH_serve.json
+//! repro --serve-bench --smoke  # same on the small trace (CI mode)
 //! repro --telemetry-json FILE  # write the run's span/metric telemetry
 //! repro --report-digest # print the golden-trace report digest
 //! repro --soak N        # N seeded differential rounds over the variant
@@ -30,8 +34,8 @@
 
 use ddos_analytics::collab::concurrent::CollabAnalysis;
 use ddos_analytics::{
-    passes, AnalysisContext, AnalysisReport, IncrementalPipeline, KernelPolicy, PipelineOptions,
-    StreamFold,
+    passes, Analysis, AnalysisContext, AnalysisReport, IncrementalPipeline, KernelPolicy,
+    PipelineOptions, StreamFold,
 };
 use ddos_obs::Obs;
 use ddos_report::{compare, paper_comparisons, render, EXPERIMENTS};
@@ -48,6 +52,7 @@ fn main() {
     let mut epoch_bench = false;
     let mut pass_bench = false;
     let mut ingest_bench = false;
+    let mut serve_bench = false;
     let mut smoke = false;
     let mut report_digest = false;
     let mut soak_rounds: Option<u32> = None;
@@ -76,6 +81,7 @@ fn main() {
             "--epoch-bench" => epoch_bench = true,
             "--pass-bench" => pass_bench = true,
             "--ingest-bench" => ingest_bench = true,
+            "--serve-bench" => serve_bench = true,
             "--smoke" => smoke = true,
             "--report-digest" => report_digest = true,
             "--soak" => {
@@ -119,6 +125,10 @@ fn main() {
     }
     if ingest_bench {
         run_ingest_bench(scale, smoke);
+        return;
+    }
+    if serve_bench {
+        run_serve_bench(scale, smoke);
         return;
     }
     if pipeline_bench {
@@ -212,23 +222,19 @@ fn run_pipeline_bench(scale: f64) {
     });
     eprintln!("generated {} attacks", trace.dataset.len());
     let ds = &trace.dataset;
-    let serial_opts = PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    };
 
     // Warm-up: touch every path once so page cache / allocator state is
     // comparable, then time each.
     let _ = AnalysisReport::run(ds);
-    let _ = AnalysisReport::run_opts(ds, serial_opts);
-    let _ = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
+    let _ = Analysis::new(ds).parallel(false).run();
+    let _ = Analysis::new(ds).baseline().run();
 
     let t0 = std::time::Instant::now();
-    let baseline = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
+    let baseline = Analysis::new(ds).baseline().run();
     let baseline_elapsed = t0.elapsed();
 
     let t1 = std::time::Instant::now();
-    let serial = AnalysisReport::run_opts(ds, serial_opts);
+    let serial = Analysis::new(ds).parallel(false).run();
     let serial_elapsed = t1.elapsed();
 
     let t2 = std::time::Instant::now();
@@ -298,13 +304,7 @@ fn run_ctx_bench(scale: f64, smoke: bool) {
 
     // And the reports the builds feed must serialize identically.
     let parallel_report = AnalysisReport::run(ds);
-    let serial_report = AnalysisReport::run_opts(
-        ds,
-        PipelineOptions {
-            parallel: false,
-            ..PipelineOptions::default()
-        },
-    );
+    let serial_report = Analysis::new(ds).parallel(false).run();
     let pj = serde_json::to_string(&parallel_report).expect("report serializes");
     let sj = serde_json::to_string(&serial_report).expect("report serializes");
     assert_eq!(pj, sj, "parallel and serial context reports diverged");
@@ -420,22 +420,25 @@ fn run_epoch_bench(scale: f64, smoke: bool) {
         ds.bots().len(),
         epochs
     );
-    let opts = PipelineOptions {
-        telemetry: false,
-        ..PipelineOptions::default()
-    };
+    let opts = PipelineOptions::new().telemetry(false);
 
-    // Correctness first: every epoch-engine entry point must serialize
+    // Correctness first: every epoch-engine spelling must serialize
     // byte-identically to the batch pipeline.
     let json = |r: &AnalysisReport| serde_json::to_string(r).expect("report serializes");
-    let want = json(&AnalysisReport::run_opts(ds, opts));
+    let want = json(&Analysis::new(ds).options(opts).run());
     assert_eq!(
-        json(&AnalysisReport::run_epochs(ds, opts, epoch_len)),
+        json(&Analysis::new(ds).options(opts).epochs(epoch_len).run()),
         want,
         "epoch-folded report diverged from batch"
     );
     assert_eq!(
-        json(&AnalysisReport::run_incremental(ds, opts, epoch_len)),
+        json(
+            &Analysis::new(ds)
+                .options(opts)
+                .epochs(epoch_len)
+                .incremental()
+                .run()
+        ),
         want,
         "incremental report diverged from batch"
     );
@@ -450,22 +453,21 @@ fn run_epoch_bench(scale: f64, smoke: bool) {
     }
     let peak_rows = fold.peak_resident_rows();
     let monolithic_rows = (ds.len() + ds.bots().len()) as u64;
+    let streamed_ctx = fold
+        .finish()
+        .expect("trace has at least one epoch")
+        .into_context(ds, ArimaSpec::DEFAULT);
     assert_eq!(
-        json(&AnalysisReport::run_on(
-            &fold
-                .finish()
-                .expect("trace has at least one epoch")
-                .into_context(ds, ArimaSpec::DEFAULT),
-            true,
-        )),
+        json(&Analysis::over(&streamed_ctx).run()),
         want,
         "streamed report diverged from batch"
     );
+    drop(streamed_ctx);
     eprintln!("report equivalence: batch == streamed fold");
 
     // Warm-up, then interleaved best-of-N rounds: systematic drift hits
     // every variant alike instead of whichever ran last.
-    let _ = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
+    let _ = Analysis::new(ds).baseline().run();
     let rounds = if smoke { 1 } else { 3 };
     let mut monolithic_s = f64::MAX;
     let mut folded_s = f64::MAX;
@@ -473,17 +475,21 @@ fn run_epoch_bench(scale: f64, smoke: bool) {
     let mut append_one_s = f64::MAX;
     for _ in 0..rounds {
         let t = std::time::Instant::now();
-        let r = AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT);
+        let r = Analysis::new(ds).baseline().run();
         monolithic_s = monolithic_s.min(t.elapsed().as_secs_f64());
         drop(std::hint::black_box(r));
 
         let t = std::time::Instant::now();
-        let r = AnalysisReport::run_epochs(ds, opts, epoch_len);
+        let r = Analysis::new(ds).options(opts).epochs(epoch_len).run();
         folded_s = folded_s.min(t.elapsed().as_secs_f64());
         drop(std::hint::black_box(r));
 
         let t = std::time::Instant::now();
-        let r = AnalysisReport::run_incremental(ds, opts, epoch_len);
+        let r = Analysis::new(ds)
+            .options(opts)
+            .epochs(epoch_len)
+            .incremental()
+            .run();
         incremental_s = incremental_s.min(t.elapsed().as_secs_f64());
         drop(std::hint::black_box(r));
 
@@ -586,22 +592,16 @@ fn run_pass_bench(scale: f64, smoke: bool) {
     // Correctness first: the chunked kernels must not move a single
     // report byte, under any chunking.
     let json = |r: &AnalysisReport| serde_json::to_string(r).expect("report serializes");
-    let opts_for = |kernels: KernelPolicy| PipelineOptions {
-        telemetry: false,
-        kernels,
-        ..PipelineOptions::default()
-    };
-    let want = json(&AnalysisReport::run_opts(
-        ds,
-        opts_for(KernelPolicy::Reference),
-    ));
+    let run_with =
+        |kernels: KernelPolicy| Analysis::new(ds).telemetry(false).kernels(kernels).run();
+    let want = json(&run_with(KernelPolicy::Reference));
     for policy in [
         KernelPolicy::Auto,
         KernelPolicy::Chunked(1),
         KernelPolicy::Chunked(3),
     ] {
         assert_eq!(
-            json(&AnalysisReport::run_opts(ds, opts_for(policy))),
+            json(&run_with(policy)),
             want,
             "{policy:?} report diverged from the reference policy"
         );
@@ -654,18 +654,18 @@ fn run_pass_bench(scale: f64, smoke: bool) {
     // baseline is PR 6's committed end-to-end figure (see
     // `PR6_PIPELINE_PARALLEL_S`), measured by this same binary's
     // `--ctx-bench` on this container at the PR 6 commit.
-    let _ = AnalysisReport::run_opts(ds, opts_for(KernelPolicy::Reference));
-    let _ = AnalysisReport::run_opts(ds, opts_for(KernelPolicy::Auto));
+    let _ = run_with(KernelPolicy::Reference);
+    let _ = run_with(KernelPolicy::Auto);
     let mut baseline_s = f64::MAX;
     let mut pipeline_s = f64::MAX;
     for _ in 0..rounds {
         let t = std::time::Instant::now();
-        let r = AnalysisReport::run_opts(ds, opts_for(KernelPolicy::Reference));
+        let r = run_with(KernelPolicy::Reference);
         baseline_s = baseline_s.min(t.elapsed().as_secs_f64());
         drop(std::hint::black_box(r));
 
         let t = std::time::Instant::now();
-        let r = AnalysisReport::run_opts(ds, opts_for(KernelPolicy::Auto));
+        let r = run_with(KernelPolicy::Auto);
         pipeline_s = pipeline_s.min(t.elapsed().as_secs_f64());
         drop(std::hint::black_box(r));
     }
@@ -963,6 +963,231 @@ fn run_ingest_bench(scale: f64, smoke: bool) {
     eprintln!("wrote BENCH_ingest.json");
 }
 
+/// Benchmarks the snapshot service under concurrent load and hard-gates
+/// its isolation contract, writing `BENCH_serve.json` (in smoke mode
+/// too, flagged `"smoke": true`, so CI uploads a real artifact).
+///
+/// Correctness gates run before any number is reported, in smoke mode
+/// too:
+///
+/// 1. **Snapshot isolation under concurrency** — reader threads hammer
+///    queries while the writer appends every epoch; every watermark any
+///    reader observed must digest byte-identically to a fresh
+///    monolithic run over the same epoch prefix.
+/// 2. **Fault atomicity** (debug builds; the seam is compiled out of
+///    release) — an `epoch/merge` fault injected mid-serve leaves the
+///    published snapshot byte-identical, and the retry converges to the
+///    clean full report.
+fn run_serve_bench(scale: f64, smoke: bool) {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use ddos_serve::AnalysisService;
+
+    let cfg = if smoke {
+        SimConfig::small()
+    } else {
+        SimConfig {
+            scale,
+            ..SimConfig::default()
+        }
+    };
+    let epoch_len = Seconds::WEEK;
+    eprintln!("generating trace (scale {})...", cfg.scale);
+    let trace = generate(&cfg);
+    let ds = &trace.dataset;
+    let epochs = ds.shards(epoch_len).len();
+    eprintln!(
+        "generated {} attacks, {} bot records, {} weekly epochs",
+        ds.len(),
+        ds.bots().len(),
+        epochs
+    );
+    let digest = |r: &AnalysisReport| {
+        ddos_obs::fnv1a_64_hex(
+            serde_json::to_string(r)
+                .expect("report serializes")
+                .as_bytes(),
+        )
+    };
+
+    // Phase 1: concurrent append + query. The writer ingests every
+    // epoch; readers answer typed queries throughout and record the
+    // snapshot digest of each watermark they observe.
+    let obs = Obs::enabled();
+    let service = AnalysisService::new(ds, PipelineOptions::default(), epoch_len, &obs);
+    let reader_threads = 4usize;
+    let done = AtomicBool::new(false);
+    let t0 = std::time::Instant::now();
+    let (append_total_s, reader_results) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let t = std::time::Instant::now();
+            service.ingest_all().expect("clean ingest");
+            done.store(true, Ordering::Release);
+            t.elapsed().as_secs_f64()
+        });
+        let readers: Vec<_> = (0..reader_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut typed_queries = 0u64;
+                    let mut last = 0usize;
+                    let mut digests: BTreeMap<usize, String> = BTreeMap::new();
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        // One rotating typed query per spin, answered
+                        // from whatever snapshot is published.
+                        let answered = match typed_queries % 4 {
+                            0 => service.top_targets(5).map(|a| a.watermark),
+                            1 => service.family_breakdown().map(|a| a.watermark),
+                            2 => service.shift_series().map(|a| a.watermark),
+                            _ => service.blacklist_verdicts().map(|a| a.watermark),
+                        };
+                        if let Some(watermark) = answered {
+                            typed_queries += 1;
+                            assert!(watermark >= last, "watermark went backwards");
+                            last = watermark;
+                        }
+                        if let Some(snap) = service.snapshot() {
+                            digests
+                                .entry(snap.watermark)
+                                .or_insert_with(|| digest(&snap.report));
+                        }
+                        if finished {
+                            break;
+                        }
+                    }
+                    (typed_queries, digests)
+                })
+            })
+            .collect();
+        let append_total_s = writer.join().expect("writer thread");
+        let results: Vec<_> = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader thread"))
+            .collect();
+        (append_total_s, results)
+    });
+    let concurrent_s = t0.elapsed().as_secs_f64();
+    let typed_queries: u64 = reader_results.iter().map(|(n, _)| n).sum();
+    let mut observed: BTreeMap<usize, String> = BTreeMap::new();
+    for (_, digests) in &reader_results {
+        for (w, d) in digests {
+            match observed.get(w) {
+                None => {
+                    observed.insert(*w, d.clone());
+                }
+                Some(seen) => {
+                    assert_eq!(seen, d, "two readers saw different bytes at watermark {w}")
+                }
+            }
+        }
+    }
+    assert!(
+        observed.contains_key(&epochs),
+        "no reader observed the final watermark"
+    );
+
+    // The hard gate: every observed watermark must answer exactly like
+    // a fresh monolithic run over the same epoch prefix.
+    for (w, got) in &observed {
+        let fresh = digest(&Analysis::new(&ds.epoch_prefix(epoch_len, *w)).run());
+        assert_eq!(
+            got, &fresh,
+            "watermark {w} served under concurrent append diverged from a \
+             fresh {w}-epoch monolithic run"
+        );
+    }
+    eprintln!(
+        "snapshot isolation: {} watermarks observed under concurrent \
+         append, all byte-identical to fresh prefix runs",
+        observed.len()
+    );
+
+    // Phase 2: fault atomicity through the serve path (debug only —
+    // the failpoint seam is compiled out of release builds).
+    if ddos_failpoints::ACTIVE {
+        let fault_obs = Obs::enabled();
+        let faulted = AnalysisService::new(ds, PipelineOptions::default(), epoch_len, &fault_obs);
+        faulted
+            .try_append()
+            .expect("clean append")
+            .expect("epoch 0");
+        faulted
+            .try_append()
+            .expect("clean append")
+            .expect("epoch 1");
+        let before = faulted.snapshot().expect("published");
+        let before_digest = digest(&before.report);
+        {
+            let _scope = ddos_failpoints::FailPlan::new()
+                .fail_nth(ddos_failpoints::names::EPOCH_MERGE, 0)
+                .install();
+            faulted
+                .try_append()
+                .expect_err("injected epoch/merge fault must surface");
+        }
+        let after = faulted.snapshot().expect("still published");
+        assert_eq!(
+            after.watermark, before.watermark,
+            "fault moved the watermark"
+        );
+        assert_eq!(
+            digest(&after.report),
+            before_digest,
+            "fault disturbed the published snapshot"
+        );
+        faulted.ingest_all().expect("clean retry");
+        assert_eq!(
+            digest(&faulted.snapshot().expect("published").report),
+            *observed.get(&epochs).expect("final watermark verified"),
+            "post-fault recovery diverged from the clean full report"
+        );
+        eprintln!("fault atomicity: faulted append left the snapshot untouched, retry converged");
+    } else {
+        eprintln!("fault atomicity: skipped (release build: fault seam compiled out)");
+    }
+
+    let queries_answered = obs.counter(ddos_obs::names::SERVE_QUERIES_ANSWERED).get();
+    let queries_per_sec = typed_queries as f64 / concurrent_s;
+    let appends_per_sec = epochs as f64 / append_total_s;
+    println!("serve bench (weekly epochs, {reader_threads} readers):");
+    println!("  append all {epochs} epochs:      {append_total_s:>8.3} s");
+    println!("  typed queries answered:    {typed_queries:>8}");
+    println!("  query throughput:          {queries_per_sec:>8.0} /s (concurrent with appends)");
+    println!("  watermarks verified:       {:>8}", observed.len());
+    if !smoke {
+        assert!(
+            queries_per_sec > 1_000.0,
+            "snapshot queries under concurrent append fell below 1k/s \
+             ({queries_per_sec:.0}/s) — reads are blocking on the writer"
+        );
+    }
+
+    let out = format!(
+        "{{\n  \"smoke\": {},\n  \"trace\": {{\n    \"scale\": {},\n    \
+         \"attacks\": {},\n    \"bot_records\": {},\n    \"epochs\": {}\n  }},\n  \
+         \"epoch_len_s\": {},\n  \"reader_threads\": {},\n  \
+         \"append_total_s\": {:.6},\n  \"appends_per_sec\": {:.3},\n  \
+         \"typed_queries\": {},\n  \"queries_answered\": {},\n  \
+         \"queries_per_sec\": {:.1},\n  \"verified_watermarks\": {}\n}}\n",
+        smoke,
+        cfg.scale,
+        ds.len(),
+        ds.bots().len(),
+        epochs,
+        epoch_len.get(),
+        reader_threads,
+        append_total_s,
+        appends_per_sec,
+        typed_queries,
+        queries_answered,
+        queries_per_sec,
+        observed.len(),
+    );
+    std::fs::write("BENCH_serve.json", &out).expect("writing BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
+}
+
 /// Prints the FNV-1a 64 digest of the golden trace's full report — the
 /// value `tests/golden/report_small.digest` pins. Regenerate the file
 /// with `repro --report-digest > tests/golden/report_small.digest`
@@ -1013,13 +1238,14 @@ fn run_soak_mode(
         },
     );
     let obs = Obs::enabled();
-    println!("round  seed                cells  probe                  digest");
+    println!("round  seed                cells  serve  probe                  digest");
     let result = ddos_testkit::run_soak(&opts, &obs, |r| {
         println!(
-            "{:<5}  {:#018x}  {:<5}  {:<21}  {}",
+            "{:<5}  {:#018x}  {:<5}  {:<5}  {:<21}  {}",
             r.round,
             r.seed,
             r.cells,
+            r.serve_epochs,
             r.probed.as_deref().unwrap_or("-"),
             r.digest
         );

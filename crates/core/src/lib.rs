@@ -16,9 +16,14 @@
 //! | abstract finding 2 | [`target::recurrence`] | next-attack start prediction |
 //! | "insight into defenses" | [`defense`] | blacklist & latency simulations |
 //!
-//! [`pipeline::AnalysisReport`] runs everything at once; the `ddos-report`
-//! crate renders the results as the paper's tables and figure series, and
-//! the `bench` crate regenerates each artifact individually.
+//! [`Analysis`] is the one entry point: a builder that names a dataset,
+//! picks an engine (monolithic, epoch-folded, incremental, or the
+//! pre-refactor baseline), and runs — every spelling serializes
+//! byte-identically. The `ddos-report` crate renders the results as the
+//! paper's tables and figure series, the `ddos-serve` crate keeps an
+//! [`IncrementalPipeline`] resident and answers snapshot-isolated
+//! queries while epochs append, and the `bench` crate regenerates each
+//! artifact individually.
 //!
 //! The analyses are *pure*: they read the dataset (plus the shared joins
 //! built once in [`context`]) and never mutate it. The pass-based
@@ -30,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod collab;
 pub mod columnar;
 pub mod context;
@@ -46,9 +52,24 @@ pub mod summary;
 pub mod target;
 pub mod util;
 
+pub use analysis::Analysis;
 pub use columnar::{BotTable, SourceTable, NO_BOT};
 pub use context::AnalysisContext;
 pub use epoch::{EpochContext, FoldScratch, MergeDelta, StreamFold};
 pub use fault::PipelineError;
 pub use kernels::KernelPolicy;
 pub use pipeline::{AnalysisReport, AppendStats, IncrementalPipeline, PipelineOptions};
+
+/// The handful of names every pipeline consumer needs:
+/// `use ddos_analytics::prelude::*;` and go.
+pub mod prelude {
+    pub use crate::analysis::Analysis;
+    pub use crate::context::AnalysisContext;
+    pub use crate::epoch::StreamFold;
+    pub use crate::fault::PipelineError;
+    pub use crate::kernels::KernelPolicy;
+    pub use crate::pipeline::{AnalysisReport, AppendStats, IncrementalPipeline, PipelineOptions};
+    pub use ddos_obs::Obs;
+    pub use ddos_schema::{Dataset, Seconds};
+    pub use ddos_stats::ArimaSpec;
+}

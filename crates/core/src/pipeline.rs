@@ -23,6 +23,7 @@ use ddos_schema::{Dataset, DatasetShard, Family, Seconds};
 use ddos_stats::ArimaSpec;
 use serde::{Deserialize, Serialize};
 
+use crate::analysis::Analysis;
 use crate::collab::concurrent::{CollabAnalysis, PairFocus};
 use crate::collab::multistage::MultistageAnalysis;
 use crate::columnar::worker_count;
@@ -46,7 +47,13 @@ use crate::target::recurrence::RecurrenceAnalysis;
 use crate::util::BotIndex;
 
 /// How to run the pipeline.
+///
+/// Non-exhaustive so future flags don't break downstream construction:
+/// build one with [`PipelineOptions::new`] (or `default()`) and the
+/// builder-style setters, e.g.
+/// `PipelineOptions::new().parallel(false).kernels(KernelPolicy::Reference)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct PipelineOptions {
     /// ARIMA order for the prediction pass.
     pub spec: ArimaSpec,
@@ -75,6 +82,40 @@ impl Default for PipelineOptions {
             telemetry: true,
             kernels: KernelPolicy::Auto,
         }
+    }
+}
+
+impl PipelineOptions {
+    /// The default options (parallel, telemetry on, `Auto` kernels,
+    /// default ARIMA order) — the starting point for the setters below.
+    pub fn new() -> PipelineOptions {
+        PipelineOptions::default()
+    }
+
+    /// Sets the ARIMA order for the prediction pass.
+    pub fn spec(mut self, spec: ArimaSpec) -> PipelineOptions {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets whether the context build and pass scheduler fan out on
+    /// scoped threads.
+    pub fn parallel(mut self, parallel: bool) -> PipelineOptions {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets whether spans and metrics are recorded into
+    /// [`AnalysisReport::telemetry`].
+    pub fn telemetry(mut self, telemetry: bool) -> PipelineOptions {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the kernel policy for the pass bodies.
+    pub fn kernels(mut self, kernels: KernelPolicy) -> PipelineOptions {
+        self.kernels = kernels;
+        self
     }
 }
 
@@ -130,266 +171,321 @@ pub struct AnalysisReport {
     pub telemetry: RunTelemetry,
 }
 
+/// The monolithic engine: one context build, one pass-scheduler run,
+/// recording into `obs`. The body behind `Analysis::try_run` (batch
+/// mode) and the legacy `run_opts`/`run_obs` shims.
+pub(crate) fn run_monolithic(
+    ds: &Dataset,
+    opts: PipelineOptions,
+    obs: &Obs,
+) -> Result<AnalysisReport, PipelineError> {
+    let ctx = {
+        let _span = obs.span("context");
+        AnalysisContext::build_kernels(ds, opts.spec, opts.parallel, opts.kernels, obs)
+    };
+    let partial = passes::try_execute(&ctx, opts.parallel, obs)?;
+    let mut report = {
+        let _span = obs.span("assemble");
+        assemble(partial)
+    };
+    report.telemetry = obs.finish(opts.parallel);
+    Ok(report)
+}
+
+/// Runs the pass scheduler over a context built elsewhere, recording
+/// into `obs`. The body behind `Analysis::over(..).try_run()` and the
+/// legacy `run_on` shim.
+pub(crate) fn run_over(
+    ctx: &AnalysisContext,
+    parallel: bool,
+    obs: &Obs,
+) -> Result<AnalysisReport, PipelineError> {
+    let partial = passes::try_execute(ctx, parallel, obs)?;
+    let mut report = assemble(partial);
+    report.telemetry = obs.finish(parallel);
+    Ok(report)
+}
+
+/// The epoch-sharded engine: the trace is sliced into `epoch_len`
+/// shards, each shard builds its own [`EpochContext`] (on scoped
+/// threads when `opts.parallel`), and the contexts fold pairwise into
+/// one — which the merge laws guarantee is bit-identical to the
+/// monolithic [`AnalysisContext::build`]. The body behind
+/// `Analysis::epochs(..).try_run()` and the legacy `run_epochs` shims.
+pub(crate) fn run_folded(
+    ds: &Dataset,
+    opts: PipelineOptions,
+    epoch_len: Seconds,
+    obs: &Obs,
+) -> Result<AnalysisReport, PipelineError> {
+    let shards = ds.shards(epoch_len);
+    let built: Vec<EpochContext> = if opts.parallel && shards.len() > 1 {
+        // Shard builds are independent: workers drain a shared
+        // index and results re-sort into epoch order, so the fold
+        // below is deterministic regardless of interleaving.
+        let next = AtomicUsize::new(0);
+        let next_ref = &next;
+        let obs_ref = obs;
+        let shards_ref = &shards;
+        let mut built: Vec<(usize, EpochContext)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..worker_count().min(shards.len()))
+                .map(|_| {
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                            if i >= shards_ref.len() {
+                                break;
+                            }
+                            out.push((i, EpochContext::build(&shards_ref[i], obs_ref)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("epoch build panicked"))
+                .collect()
+        })
+        .expect("epoch build scope panicked");
+        built.sort_unstable_by_key(|&(i, _)| i);
+        built.into_iter().map(|(_, c)| c).collect()
+    } else {
+        shards.iter().map(|s| EpochContext::build(s, obs)).collect()
+    };
+    // Balanced pairwise fold: adjacent contexts merge level by
+    // level (an odd leftover passes through untouched), so a span
+    // of E epochs rewrites each attack's merged state O(log E)
+    // times instead of the left fold's O(E). Every merge still
+    // joins adjacent spans, and merge is associative (the epoch
+    // equivalence suite proves it), so the result is bit-identical.
+    // One `FoldScratch` serves every merge of the fold.
+    let mut built = built;
+    let mut scratch = FoldScratch::default();
+    while built.len() > 1 {
+        let mut next_level = Vec::with_capacity(built.len().div_ceil(2));
+        let mut it = built.into_iter();
+        while let Some(a) = it.next() {
+            next_level.push(match it.next() {
+                Some(b) => {
+                    fault::check(fault::EPOCH_MERGE, obs)?;
+                    let _span = obs.span("epoch/merge");
+                    a.merge_scratch(b, &mut scratch).0
+                }
+                None => a,
+            });
+        }
+        built = next_level;
+    }
+    let folded = built
+        .into_iter()
+        .next()
+        .expect("a dataset always has at least one shard");
+    let ctx = {
+        let _span = obs.span("context");
+        folded
+            .into_context(ds, opts.spec)
+            .with_kernels(opts.kernels)
+    };
+    let partial = passes::try_execute(&ctx, opts.parallel, obs)?;
+    let mut report = {
+        let _span = obs.span("assemble");
+        assemble(partial)
+    };
+    report.telemetry = obs.finish(opts.parallel);
+    Ok(report)
+}
+
+/// The pre-refactor monolithic pipeline: every analysis rescans the
+/// dataset for itself (the dispersion join runs twice, the shift join a
+/// third time, four analyses regroup the per-target index). Kept as the
+/// reference implementation — the equivalence tests assert the
+/// pass-based pipeline serializes identically, and the
+/// `repro --pipeline-bench` flag measures the speedup against it. The
+/// body behind `Analysis::baseline()` and the legacy `run_baseline`
+/// shim.
+pub(crate) fn baseline_report(ds: &Dataset, spec: ArimaSpec) -> AnalysisReport {
+    let bots = BotIndex::build(ds);
+    let collaborations = CollabAnalysis::compute(ds);
+    let flagship_pair =
+        PairFocus::compute(ds, &collaborations, Family::Dirtjumper, Family::Pandora);
+    AnalysisReport {
+        protocols: ProtocolPopularity::compute(ds),
+        protocol_rows: protocol_preferences(ds),
+        summary: SummaryComparison::compute(ds),
+        daily: DailyDistribution::compute(ds),
+        interval_stats: Family::ACTIVE
+            .into_iter()
+            .map(|f| {
+                let ivs = intervals::family_intervals(ds, f);
+                (f, IntervalStats::compute(&ivs))
+            })
+            .collect(),
+        all_interval_stats: IntervalStats::compute(&intervals::all_intervals(ds)),
+        concurrency: ConcurrencyAnalysis::compute(ds),
+        durations: DurationAnalysis::compute(ds),
+        shifts: ShiftAnalysis::compute(ds, &bots),
+        dispersion: qualifying_families(ds, &bots),
+        prediction: PredictionAnalysis::compute(ds, &bots, spec),
+        target_countries: all_profiles(ds),
+        overall_targets: overall_top_countries(ds, 5),
+        collaborations,
+        flagship_pair,
+        multistage: MultistageAnalysis::compute(ds),
+        activity: activity_levels(ds),
+        recurrence: RecurrenceAnalysis::compute(ds, None),
+        blacklist: BlacklistSim::run(ds),
+        latency: detection_latency_sweep(ds, LATENCY_GRID_S),
+        telemetry: RunTelemetry::default(),
+    }
+}
+
 impl AnalysisReport {
-    /// Runs the full pipeline with the default ARIMA order.
+    /// Runs the full pipeline with the default options — shorthand for
+    /// [`Analysis::new`]`(ds).run()`.
     pub fn run(ds: &Dataset) -> AnalysisReport {
-        Self::run_with(ds, ArimaSpec::DEFAULT)
+        Analysis::new(ds).run()
     }
 
     /// Runs the full pipeline with a chosen ARIMA order.
+    #[deprecated(note = "use the `Analysis` builder: `Analysis::new(ds).spec(spec).run()`")]
     pub fn run_with(ds: &Dataset, spec: ArimaSpec) -> AnalysisReport {
-        Self::run_opts(
-            ds,
-            PipelineOptions {
-                spec,
-                ..PipelineOptions::default()
-            },
-        )
+        Analysis::new(ds).spec(spec).run()
     }
 
     /// Opens a binary trace file (`DDTL` v1 or v2 — memory-mapped, with
     /// framed v2 inputs decoded in parallel) and runs the full pipeline
     /// on it with default options.
+    #[deprecated(note = "open the trace with `Dataset::open` and run `Analysis::new(&ds).run()`")]
     pub fn run_path(
         path: impl AsRef<std::path::Path>,
     ) -> Result<AnalysisReport, ddos_schema::SchemaError> {
-        Ok(Self::run(&Dataset::open(path)?))
+        Ok(Analysis::new(&Dataset::open(path)?).run())
     }
 
     /// Runs the pass-based pipeline with explicit options. The
     /// `parallel` flag governs both the context build (chunked
     /// per-family fan-out over the columnar substrate) and the pass
     /// scheduler; the serialized report is identical either way.
+    #[deprecated(note = "use the `Analysis` builder: `Analysis::new(ds).options(opts).run()`")]
     pub fn run_opts(ds: &Dataset, opts: PipelineOptions) -> AnalysisReport {
-        fault::infallible(Self::try_run_opts(ds, opts))
+        Analysis::new(ds).options(opts).run()
     }
 
-    /// Fallible [`AnalysisReport::run_opts`]: surfaces a
-    /// `scheduler/pass` fault injection as `Err` instead of panicking.
-    /// The pipeline holds no cross-run state, so retrying the same call
-    /// without the fault plan reproduces the golden report.
+    /// Fallible `run_opts`: surfaces a `scheduler/pass` fault injection
+    /// as `Err` instead of panicking. The pipeline holds no cross-run
+    /// state, so retrying the same call without the fault plan
+    /// reproduces the golden report.
+    #[deprecated(note = "use the `Analysis` builder: `Analysis::new(ds).options(opts).try_run()`")]
     pub fn try_run_opts(
         ds: &Dataset,
         opts: PipelineOptions,
     ) -> Result<AnalysisReport, PipelineError> {
-        let obs = if opts.telemetry {
-            Obs::enabled()
-        } else {
-            Obs::disabled()
-        };
-        Self::try_run_obs(ds, opts, &obs)
+        Analysis::new(ds).options(opts).try_run()
     }
 
-    /// Like [`AnalysisReport::run_opts`], but records into a
-    /// caller-supplied [`Obs`]. Loaders use this to land their ingest
-    /// telemetry (`ingest/frame_decode`, `ingest/bytes`, ...) in the
-    /// same [`RunTelemetry`] as the analysis spans; `opts.telemetry` is
+    /// Like `run_opts`, but records into a caller-supplied [`Obs`].
+    /// Loaders use this to land their ingest telemetry in the same
+    /// [`RunTelemetry`] as the analysis spans; `opts.telemetry` is
     /// ignored in favour of the recorder's own enabled state.
+    #[deprecated(
+        note = "use the `Analysis` builder: `Analysis::new(ds).options(opts).obs(obs).run()`"
+    )]
     pub fn run_obs(ds: &Dataset, opts: PipelineOptions, obs: &Obs) -> AnalysisReport {
-        fault::infallible(Self::try_run_obs(ds, opts, obs))
+        Analysis::new(ds).options(opts).obs(obs).run()
     }
 
-    /// Fallible [`AnalysisReport::run_obs`] — see
-    /// [`AnalysisReport::try_run_opts`] for the error contract.
+    /// Fallible `run_obs` — see the `try_run_opts` error contract.
+    #[deprecated(
+        note = "use the `Analysis` builder: `Analysis::new(ds).options(opts).obs(obs).try_run()`"
+    )]
     pub fn try_run_obs(
         ds: &Dataset,
         opts: PipelineOptions,
         obs: &Obs,
     ) -> Result<AnalysisReport, PipelineError> {
-        let ctx = {
-            let _span = obs.span("context");
-            AnalysisContext::build_kernels(ds, opts.spec, opts.parallel, opts.kernels, obs)
-        };
-        let partial = passes::try_execute(&ctx, opts.parallel, obs)?;
-        let mut report = {
-            let _span = obs.span("assemble");
-            assemble(partial)
-        };
-        report.telemetry = obs.finish(opts.parallel);
-        Ok(report)
+        Analysis::new(ds).options(opts).obs(obs).try_run()
     }
 
     /// Runs the pass scheduler over a context built elsewhere (the
     /// conformance suite uses this to feed the same passes a columnar
     /// and a reference-built context). No telemetry is recorded — the
     /// context build, where most of it lives, already happened.
+    #[deprecated(
+        note = "use the `Analysis` builder: `Analysis::over(ctx).parallel(parallel).run()`"
+    )]
     pub fn run_on(ctx: &AnalysisContext, parallel: bool) -> AnalysisReport {
-        assemble(passes::execute(ctx, parallel, &Obs::disabled()))
+        Analysis::over(ctx).parallel(parallel).run()
     }
 
-    /// Runs the pipeline through the epoch-sharded engine: the trace is
-    /// sliced into `epoch_len` shards, each shard builds its own
-    /// [`EpochContext`] (on scoped threads when `parallel`), and the
-    /// contexts fold into one — which the merge laws guarantee is
-    /// bit-identical to the monolithic [`AnalysisContext::build`]. The
-    /// passes then run exactly as in [`AnalysisReport::run_opts`], so
-    /// the serialized report is byte-identical to every other entry
-    /// point (the golden-report suite pins this).
+    /// Runs the pipeline through the epoch-sharded engine — see
+    /// [`Analysis::epochs`].
+    #[deprecated(
+        note = "use the `Analysis` builder: `Analysis::new(ds).options(opts).epochs(len).run()`"
+    )]
     pub fn run_epochs(ds: &Dataset, opts: PipelineOptions, epoch_len: Seconds) -> AnalysisReport {
-        fault::infallible(Self::try_run_epochs(ds, opts, epoch_len))
+        Analysis::new(ds).options(opts).epochs(epoch_len).run()
     }
 
-    /// Fallible [`AnalysisReport::run_epochs`]: the `epoch/merge`
-    /// failpoint is consulted before every pairwise merge of the fold
-    /// (and `scheduler/pass` before every pass), so an injected
-    /// mid-fold abort surfaces as `Err` with all intermediate contexts
-    /// dropped. Retrying rebuilds every shard from the dataset —
-    /// nothing survives a failed fold — and reproduces the golden
-    /// report.
+    /// Fallible `run_epochs`: the `epoch/merge` failpoint is consulted
+    /// before every pairwise merge of the fold (and `scheduler/pass`
+    /// before every pass), so an injected mid-fold abort surfaces as
+    /// `Err` with all intermediate contexts dropped. Retrying rebuilds
+    /// every shard from the dataset and reproduces the golden report.
+    #[deprecated(
+        note = "use the `Analysis` builder: `Analysis::new(ds).options(opts).epochs(len).try_run()`"
+    )]
     pub fn try_run_epochs(
         ds: &Dataset,
         opts: PipelineOptions,
         epoch_len: Seconds,
     ) -> Result<AnalysisReport, PipelineError> {
-        let obs = if opts.telemetry {
-            Obs::enabled()
-        } else {
-            Obs::disabled()
-        };
-        let shards = ds.shards(epoch_len);
-        let built: Vec<EpochContext> = if opts.parallel && shards.len() > 1 {
-            // Shard builds are independent: workers drain a shared
-            // index and results re-sort into epoch order, so the fold
-            // below is deterministic regardless of interleaving.
-            let next = AtomicUsize::new(0);
-            let next_ref = &next;
-            let obs_ref = &obs;
-            let shards_ref = &shards;
-            let mut built: Vec<(usize, EpochContext)> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..worker_count().min(shards.len()))
-                    .map(|_| {
-                        scope.spawn(move |_| {
-                            let mut out = Vec::new();
-                            loop {
-                                let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                                if i >= shards_ref.len() {
-                                    break;
-                                }
-                                out.push((i, EpochContext::build(&shards_ref[i], obs_ref)));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("epoch build panicked"))
-                    .collect()
-            })
-            .expect("epoch build scope panicked");
-            built.sort_unstable_by_key(|&(i, _)| i);
-            built.into_iter().map(|(_, c)| c).collect()
-        } else {
-            shards
-                .iter()
-                .map(|s| EpochContext::build(s, &obs))
-                .collect()
-        };
-        // Balanced pairwise fold: adjacent contexts merge level by
-        // level (an odd leftover passes through untouched), so a span
-        // of E epochs rewrites each attack's merged state O(log E)
-        // times instead of the left fold's O(E). Every merge still
-        // joins adjacent spans, and merge is associative (the epoch
-        // equivalence suite proves it), so the result is bit-identical.
-        // One `FoldScratch` serves every merge of the fold.
-        let mut built = built;
-        let mut scratch = FoldScratch::default();
-        while built.len() > 1 {
-            let mut next_level = Vec::with_capacity(built.len().div_ceil(2));
-            let mut it = built.into_iter();
-            while let Some(a) = it.next() {
-                next_level.push(match it.next() {
-                    Some(b) => {
-                        fault::check(fault::EPOCH_MERGE, &obs)?;
-                        let _span = obs.span("epoch/merge");
-                        a.merge_scratch(b, &mut scratch).0
-                    }
-                    None => a,
-                });
-            }
-            built = next_level;
-        }
-        let folded = built
-            .into_iter()
-            .next()
-            .expect("a dataset always has at least one shard");
-        let ctx = {
-            let _span = obs.span("context");
-            folded
-                .into_context(ds, opts.spec)
-                .with_kernels(opts.kernels)
-        };
-        let partial = passes::try_execute(&ctx, opts.parallel, &obs)?;
-        let mut report = {
-            let _span = obs.span("assemble");
-            assemble(partial)
-        };
-        report.telemetry = obs.finish(opts.parallel);
-        Ok(report)
+        Analysis::new(ds).options(opts).epochs(epoch_len).try_run()
     }
 
     /// Runs the pipeline by appending epochs one at a time through an
-    /// [`IncrementalPipeline`] — the convenience wrapper over
-    /// `IncrementalPipeline::new(..).into_report()`.
+    /// [`IncrementalPipeline`] — see [`Analysis::incremental`].
+    #[deprecated(
+        note = "use the `Analysis` builder: `Analysis::new(ds).options(opts).epochs(len).incremental().run()`"
+    )]
     pub fn run_incremental(
         ds: &Dataset,
         opts: PipelineOptions,
         epoch_len: Seconds,
     ) -> AnalysisReport {
-        IncrementalPipeline::new(ds, opts, epoch_len).into_report()
+        Analysis::new(ds)
+            .options(opts)
+            .epochs(epoch_len)
+            .incremental()
+            .run()
     }
 
-    /// Fallible [`AnalysisReport::run_incremental`] — see
+    /// Fallible `run_incremental` — see
     /// [`IncrementalPipeline::try_append_epoch`] for the per-append
     /// error contract.
+    #[deprecated(
+        note = "use the `Analysis` builder: `Analysis::new(ds).options(opts).epochs(len).incremental().try_run()`"
+    )]
     pub fn try_run_incremental(
         ds: &Dataset,
         opts: PipelineOptions,
         epoch_len: Seconds,
     ) -> Result<AnalysisReport, PipelineError> {
-        IncrementalPipeline::new(ds, opts, epoch_len).try_into_report()
+        Analysis::new(ds)
+            .options(opts)
+            .epochs(epoch_len)
+            .incremental()
+            .try_run()
     }
 
-    /// The pre-refactor monolithic pipeline: every analysis rescans the
-    /// dataset for itself (the dispersion join runs twice, the shift
-    /// join a third time, four analyses regroup the per-target index).
-    /// Kept as the reference implementation — the equivalence tests
-    /// assert the pass-based pipeline serializes identically, and the
-    /// `repro --pipeline-bench` flag measures the speedup against it.
+    /// The pre-refactor monolithic pipeline — see
+    /// [`Analysis::baseline`].
+    #[deprecated(
+        note = "use the `Analysis` builder: `Analysis::new(ds).spec(spec).baseline().run()`"
+    )]
     pub fn run_baseline(ds: &Dataset, spec: ArimaSpec) -> AnalysisReport {
-        let bots = BotIndex::build(ds);
-        let collaborations = CollabAnalysis::compute(ds);
-        let flagship_pair =
-            PairFocus::compute(ds, &collaborations, Family::Dirtjumper, Family::Pandora);
-        AnalysisReport {
-            protocols: ProtocolPopularity::compute(ds),
-            protocol_rows: protocol_preferences(ds),
-            summary: SummaryComparison::compute(ds),
-            daily: DailyDistribution::compute(ds),
-            interval_stats: Family::ACTIVE
-                .into_iter()
-                .map(|f| {
-                    let ivs = intervals::family_intervals(ds, f);
-                    (f, IntervalStats::compute(&ivs))
-                })
-                .collect(),
-            all_interval_stats: IntervalStats::compute(&intervals::all_intervals(ds)),
-            concurrency: ConcurrencyAnalysis::compute(ds),
-            durations: DurationAnalysis::compute(ds),
-            shifts: ShiftAnalysis::compute(ds, &bots),
-            dispersion: qualifying_families(ds, &bots),
-            prediction: PredictionAnalysis::compute(ds, &bots, spec),
-            target_countries: all_profiles(ds),
-            overall_targets: overall_top_countries(ds, 5),
-            collaborations,
-            flagship_pair,
-            multistage: MultistageAnalysis::compute(ds),
-            activity: activity_levels(ds),
-            recurrence: RecurrenceAnalysis::compute(ds, None),
-            blacklist: BlacklistSim::run(ds),
-            latency: detection_latency_sweep(ds, LATENCY_GRID_S),
-            telemetry: RunTelemetry::default(),
-        }
+        Analysis::new(ds).spec(spec).baseline().run()
     }
 }
 
@@ -404,6 +500,24 @@ pub struct AppendStats {
     /// order. Empty when the epoch changed nothing a pass reads (e.g.
     /// an epoch with no attacks and no new bots).
     pub reran: Vec<&'static str>,
+}
+
+/// An [`Obs`] the pipeline either owns (created from
+/// [`PipelineOptions::telemetry`]) or borrows from a caller that wants
+/// the spans — [`Obs`] is deliberately not `Clone`, so a long-lived
+/// service recording into its own recorder shares it by reference.
+enum ObsSlot<'a> {
+    Owned(Obs),
+    Shared(&'a Obs),
+}
+
+impl ObsSlot<'_> {
+    fn get(&self) -> &Obs {
+        match self {
+            ObsSlot::Owned(obs) => obs,
+            ObsSlot::Shared(obs) => obs,
+        }
+    }
 }
 
 /// The incremental pipeline: epochs append one at a time, and after
@@ -423,15 +537,28 @@ pub struct AppendStats {
 /// trace's records alongside the folded prefix's context. Intermediate
 /// slots are therefore not exact prefix reports; only the final report
 /// is pinned. Context-derived indices are always in range, so partial
-/// materialization never panics.
+/// materialization never panics. [`IncrementalPipeline::prefix_exact`]
+/// lifts the caveat: passes then materialize against the epoch-prefix
+/// dataset, making every intermediate state an exact prefix report
+/// ([`IncrementalPipeline::snapshot_report`]).
 pub struct IncrementalPipeline<'a> {
     ds: &'a Dataset,
     opts: PipelineOptions,
-    obs: Obs,
+    obs: ObsSlot<'a>,
+    epoch_len: Seconds,
     shards: Vec<DatasetShard<'a>>,
     next: usize,
     acc: Option<EpochContext>,
     partial: PartialReport,
+    /// When set, passes re-run against [`Dataset::epoch_prefix`] of the
+    /// appended epochs instead of the full trace, so the partial report
+    /// after each clean append is byte-identical to a monolithic run
+    /// over that prefix — the invariant the serve layer's snapshot
+    /// queries rely on.
+    prefix_exact: bool,
+    /// The materialized prefix dataset (prefix-exact mode only),
+    /// rebuilt whenever an append grows the raw record prefix.
+    prefix: Option<Dataset>,
     /// Passes dirtied by appended epochs but not yet successfully
     /// re-run. Normally drained within the same append; it only
     /// carries over when a `scheduler/pass` fault aborted the re-run,
@@ -454,17 +581,61 @@ impl<'a> IncrementalPipeline<'a> {
         } else {
             Obs::disabled()
         };
+        Self::with_slot(ds, opts, epoch_len, ObsSlot::Owned(obs))
+    }
+
+    /// Like [`IncrementalPipeline::new`], but records spans and metrics
+    /// into a caller-supplied [`Obs`] (which `opts.telemetry` then does
+    /// not override) — the serve layer shares its service-wide recorder
+    /// with the pipeline this way.
+    pub fn with_obs(
+        ds: &'a Dataset,
+        opts: PipelineOptions,
+        epoch_len: Seconds,
+        obs: &'a Obs,
+    ) -> Self {
+        Self::with_slot(ds, opts, epoch_len, ObsSlot::Shared(obs))
+    }
+
+    fn with_slot(
+        ds: &'a Dataset,
+        opts: PipelineOptions,
+        epoch_len: Seconds,
+        obs: ObsSlot<'a>,
+    ) -> Self {
         IncrementalPipeline {
             ds,
             opts,
             obs,
+            epoch_len,
             shards: ds.shards(epoch_len),
             next: 0,
             acc: None,
             partial: PartialReport::default(),
+            prefix_exact: false,
+            prefix: None,
             pending: HashSet::new(),
             scratch: FoldScratch::default(),
         }
+    }
+
+    /// Switches the pipeline into prefix-exact mode (before the first
+    /// append): every pass re-run materializes against the
+    /// [`Dataset::epoch_prefix`] of the appended epochs, so after each
+    /// clean append the partial report is byte-identical to a
+    /// monolithic run over exactly those epochs' records — the
+    /// invariant behind [`IncrementalPipeline::snapshot_report`].
+    ///
+    /// Costs a prefix-dataset rebuild on every append that grows the
+    /// raw record prefix; the final report is unchanged (the last
+    /// prefix *is* the full trace).
+    pub fn prefix_exact(mut self) -> Self {
+        assert_eq!(
+            self.next, 0,
+            "prefix_exact must be set before the first append"
+        );
+        self.prefix_exact = true;
+        self
     }
 
     /// Total number of epochs in the slicing.
@@ -475,6 +646,31 @@ impl<'a> IncrementalPipeline<'a> {
     /// Epochs appended so far.
     pub fn appended(&self) -> usize {
         self.next
+    }
+
+    /// The epoch watermark: how many epochs the state reflects — an
+    /// alias of [`IncrementalPipeline::appended`] under the name the
+    /// serve layer stamps on every query answer.
+    pub fn watermark(&self) -> usize {
+        self.next
+    }
+
+    /// An exact prefix report at the current watermark, or `None` when
+    /// one isn't available: the pipeline is not in
+    /// [`prefix_exact`](IncrementalPipeline::prefix_exact) mode, no
+    /// epoch has been appended yet, or a `scheduler/pass` fault left
+    /// dirtied passes pending (the state is mid-repair; the next clean
+    /// append flushes them).
+    ///
+    /// The returned report is byte-identical to a monolithic run over
+    /// `ds.epoch_prefix(epoch_len, watermark())` — the serve
+    /// conformance suite pins this. Telemetry is empty (it is run
+    /// metadata, not part of the snapshot).
+    pub fn snapshot_report(&self) -> Option<AnalysisReport> {
+        if !self.prefix_exact || self.next == 0 || !self.pending.is_empty() {
+            return None;
+        }
+        Some(assemble(self.partial.clone()))
     }
 
     /// Whether every epoch has been appended.
@@ -506,12 +702,26 @@ impl<'a> IncrementalPipeline<'a> {
     pub fn try_append_epoch(&mut self) -> Result<Option<AppendStats>, PipelineError> {
         let epoch = self.next;
         let Some(shard) = self.shards.get(epoch) else {
+            // Every epoch is in; flush anything a faulted re-run left
+            // pending so a recovered pipeline converges without a
+            // trailing `try_into_report`.
+            self.try_flush()?;
             return Ok(None);
         };
-        fault::check(fault::EPOCH_MERGE, &self.obs)?;
+        fault::check(fault::EPOCH_MERGE, self.obs.get())?;
         self.next += 1;
-        let built = EpochContext::build_scratch(shard, &self.obs, &mut self.scratch);
+        let built = EpochContext::build_scratch(shard, self.obs.get(), &mut self.scratch);
         let attacks = built.len();
+        // Prefix-exact mode: the raw-record prefix grows whenever the
+        // epoch carries attacks or bot records first seen inside it
+        // (re-observations of earlier bots are already in the prefix).
+        // Passes that read the raw roster (`summary`) declare
+        // `CtxPart::Bots`, so dirtying it covers a roster-only growth
+        // that appends no folded rows.
+        let new_bot_records = self.prefix_exact
+            && shard
+                .bots()
+                .any(|(_, b)| b.first_seen >= shard.span().start);
         let mut parts: Vec<CtxPart> = Vec::new();
         let acc = match self.acc.take() {
             // The first epoch seeds every part: all slots must fill.
@@ -528,7 +738,7 @@ impl<'a> IncrementalPipeline<'a> {
             }
             Some(prev) => {
                 let (merged, delta) = {
-                    let _span = self.obs.span("epoch/merge");
+                    let _span = self.obs.get().span("epoch/merge");
                     prev.merge_scratch(built, &mut self.scratch)
                 };
                 if delta.appended_attacks > 0 {
@@ -540,7 +750,7 @@ impl<'a> IncrementalPipeline<'a> {
                         CtxPart::Sources,
                     ]);
                 }
-                if delta.appended_bots > 0 {
+                if delta.appended_bots > 0 || new_bot_records {
                     parts.push(CtxPart::Bots);
                 }
                 if !delta.reresolved.is_empty() {
@@ -563,28 +773,53 @@ impl<'a> IncrementalPipeline<'a> {
         // re-run: a pass fault then leaves a consistent context with
         // the un-run passes still queued in `pending`.
         self.acc = Some(acc);
-        if !self.pending.is_empty() {
-            let acc_ref = self.acc.as_ref().expect("accumulator just set");
-            let ctx = {
-                let _span = self.obs.span("epoch/materialize");
-                acc_ref
-                    .to_context(self.ds, self.opts.spec)
-                    .with_kernels(self.opts.kernels)
-            };
-            passes::try_execute_filtered(
-                &ctx,
-                self.opts.parallel,
-                &self.obs,
-                &mut self.partial,
-                &self.pending,
-            )?;
-            self.pending.clear();
+        if self.prefix_exact && (epoch == 0 || attacks > 0 || new_bot_records) {
+            // Rebuild the prefix dataset alongside the committed
+            // accumulator, also before the fallible re-run: a pass
+            // fault then leaves prefix and fold consistent with each
+            // other, and the retry materializes against them as-is.
+            let _span = self.obs.get().span("epoch/prefix");
+            self.prefix = Some(self.ds.epoch_prefix(self.epoch_len, self.next));
         }
+        self.try_flush()?;
         Ok(Some(AppendStats {
             epoch,
             attacks,
             reran,
         }))
+    }
+
+    /// Re-runs any pending dirtied passes against the current fold.
+    /// No-op when nothing is pending.
+    fn try_flush(&mut self) -> Result<(), PipelineError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let acc_ref = self
+            .acc
+            .as_ref()
+            .expect("pending passes imply an appended epoch");
+        // Prefix-exact runs see exactly the appended epochs' records;
+        // the default mode keeps the documented full-trace view.
+        let dataset = match &self.prefix {
+            Some(prefix) if self.prefix_exact => prefix,
+            _ => self.ds,
+        };
+        let ctx = {
+            let _span = self.obs.get().span("epoch/materialize");
+            acc_ref
+                .to_context(dataset, self.opts.spec)
+                .with_kernels(self.opts.kernels)
+        };
+        passes::try_execute_filtered(
+            &ctx,
+            self.opts.parallel,
+            self.obs.get(),
+            &mut self.partial,
+            &self.pending,
+        )?;
+        self.pending.clear();
+        Ok(())
     }
 
     /// Appends any remaining epochs and assembles the final report —
@@ -601,31 +836,12 @@ impl<'a> IncrementalPipeline<'a> {
     /// [`try_append_epoch`]: IncrementalPipeline::try_append_epoch
     pub fn try_into_report(mut self) -> Result<AnalysisReport, PipelineError> {
         while self.try_append_epoch()?.is_some() {}
-        if !self.pending.is_empty() {
-            let acc_ref = self
-                .acc
-                .as_ref()
-                .expect("pending passes imply an appended epoch");
-            let ctx = {
-                let _span = self.obs.span("epoch/materialize");
-                acc_ref
-                    .to_context(self.ds, self.opts.spec)
-                    .with_kernels(self.opts.kernels)
-            };
-            passes::try_execute_filtered(
-                &ctx,
-                self.opts.parallel,
-                &self.obs,
-                &mut self.partial,
-                &self.pending,
-            )?;
-            self.pending.clear();
-        }
+        // The final `Ok(None)` append flushed anything pending.
         let mut report = {
-            let _span = self.obs.span("assemble");
+            let _span = self.obs.get().span("assemble");
             assemble(self.partial)
         };
-        report.telemetry = self.obs.finish(self.opts.parallel);
+        report.telemetry = self.obs.get().finish(self.opts.parallel);
         Ok(report)
     }
 }
@@ -736,22 +952,10 @@ mod tests {
             attack(Family::Pandora, 6, 2_400, 60, 1),
             attack(Family::Dirtjumper, 7, 5_000, 900, 2),
         ]);
-        let parallel = AnalysisReport::run_opts(&ds, PipelineOptions::default());
-        let serial = AnalysisReport::run_opts(
-            &ds,
-            PipelineOptions {
-                parallel: false,
-                ..PipelineOptions::default()
-            },
-        );
-        let baseline = AnalysisReport::run_baseline(&ds, ArimaSpec::DEFAULT);
-        let quiet = AnalysisReport::run_opts(
-            &ds,
-            PipelineOptions {
-                telemetry: false,
-                ..PipelineOptions::default()
-            },
-        );
+        let parallel = Analysis::new(&ds).run();
+        let serial = Analysis::new(&ds).parallel(false).run();
+        let baseline = Analysis::new(&ds).baseline().run();
+        let quiet = Analysis::new(&ds).telemetry(false).run();
         let json = |r: &AnalysisReport| serde_json::to_string(r).unwrap();
         assert_eq!(json(&parallel), json(&serial));
         assert_eq!(json(&parallel), json(&baseline));

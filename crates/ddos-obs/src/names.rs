@@ -27,3 +27,21 @@ pub const FAULTS_INJECTED: &str = "faults/injected";
 pub const SOAK_ROUNDS: &str = "soak/rounds";
 /// Histogram: wall micros one variant cell took inside a soak round.
 pub const SOAK_CELL_US: &str = "soak/cell_us";
+/// Span covering one epoch append on the serve writer path (epoch
+/// build + merge + dirtied-pass re-run + snapshot publish).
+pub const SERVE_APPEND: &str = "serve/append";
+/// Span covering one snapshot query on the serve read path.
+pub const SERVE_QUERY: &str = "serve/query";
+/// Counter: queries answered from a published snapshot.
+pub const SERVE_QUERIES_ANSWERED: &str = "serve/queries_answered";
+/// Counter: appends the service rejected because an injected fault
+/// surfaced; the published snapshot is untouched by these.
+pub const SERVE_APPEND_FAULTS: &str = "serve/append_faults";
+/// Gauge: high-water mark of concurrently in-flight queries.
+pub const SERVE_INFLIGHT: &str = "serve/inflight";
+/// Gauge: the epoch watermark of the currently published snapshot.
+pub const SERVE_WATERMARK: &str = "serve/watermark";
+/// Histogram: wall micros per snapshot query.
+pub const SERVE_QUERY_US: &str = "serve/query_us";
+/// Histogram: wall micros per epoch append.
+pub const SERVE_APPEND_US: &str = "serve/append_us";

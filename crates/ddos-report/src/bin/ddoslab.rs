@@ -7,6 +7,7 @@
 //! ddoslab analyze trace.ddtl --timings  # also print the span breakdown
 //! ddoslab analyze trace.ddtl --telemetry-json t.json  # write RunTelemetry
 //! ddoslab analyze trace.ddtl --epochs 8 # epoch-sharded engine, 8 epochs
+//! ddoslab serve trace.ddtl --epochs 8   # snapshot service: append + query
 //! ddoslab export-csv trace.ddtl out.csv # attack records as CSV
 //! ddoslab import-csv raw.csv out.ddtl   # CSV (optionally unmerged) -> trace
 //! ddoslab info trace.ddtl               # summary only
@@ -14,9 +15,10 @@
 
 use std::process::ExitCode;
 
-use ddos_analytics::{AnalysisReport, PipelineOptions};
+use ddos_analytics::{Analysis, PipelineOptions};
 use ddos_obs::{names, Obs};
 use ddos_schema::{codec, csv, framed, Dataset, DatasetBuilder, IngestStats, Seconds, Window};
+use ddos_serve::AnalysisService;
 use ddos_sim::{generate, SimConfig};
 
 /// On-disk encoding for trace output (`--format`).
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("export-csv") => cmd_export_csv(&args[1..]),
         Some("import-csv") => cmd_import_csv(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -74,6 +77,7 @@ fn print_help() {
          \x20                 [--format v1|v2] --out FILE\n\
          \x20 ddoslab analyze FILE [--json] [--timings] [--telemetry-json FILE]\n\
          \x20                 [--epochs N]\n\
+         \x20 ddoslab serve FILE [--epochs N] [--timings]\n\
          \x20 ddoslab export-csv FILE OUT.csv\n\
          \x20 ddoslab import-csv IN.csv OUT.ddtl [--merge-gap=SECONDS]\n\
          \x20                 [--format=v1|v2] [--timings]\n\
@@ -84,7 +88,10 @@ fn print_help() {
          `import-csv` applies the paper's §II-D record merging (default gap 60 s;\n\
          pass --merge-gap=0 to disable).\n\
          `analyze --epochs N` slices the trace into N epochs and folds\n\
-         per-epoch contexts — byte-identical output, sharded build."
+         per-epoch contexts — byte-identical output, sharded build.\n\
+         `serve` replays the trace through the snapshot service: each epoch\n\
+         append publishes an immutable prefix-exact snapshot, and every\n\
+         query answer is stamped with its epoch watermark."
     );
 }
 
@@ -179,18 +186,18 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .filter(|&n| n > 0);
     let obs = Obs::enabled();
     let (ds, _) = load_obs(path, &obs)?;
+    // Both paths share the recorder with the load above, so the
+    // telemetry artifact carries the ingest span alongside the
+    // analysis spans.
     let report = match epochs {
         // Ceiling-divide the window so N epochs tile it exactly.
         Some(n) => {
             let len = Seconds((ds.window().length().get() + n as i64 - 1) / n as i64);
             let len = Seconds(len.get().max(1));
             eprintln!("epoch engine: {n} epochs of {} s", len.get());
-            AnalysisReport::run_epochs(&ds, PipelineOptions::default(), len)
+            Analysis::new(&ds).obs(&obs).epochs(len).run()
         }
-        // The default path shares the recorder with the load above, so
-        // the telemetry artifact carries the ingest span alongside the
-        // analysis spans.
-        None => AnalysisReport::run_obs(&ds, PipelineOptions::default(), &obs),
+        None => Analysis::new(&ds).obs(&obs).run(),
     };
     if timings {
         eprintln!("{}", report.telemetry.render());
@@ -244,6 +251,82 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     );
     if let Some(mean) = report.blacklist.mean_coverage() {
         println!("blacklist warm-up coverage: {mean:.3}");
+    }
+    Ok(())
+}
+
+/// Replays a trace through the snapshot service: one epoch append at a
+/// time, answering a query after each publish so the output shows the
+/// watermark advancing, then a final snapshot summary.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("serve requires a trace file")?;
+    let timings = args.iter().any(|a| a == "--timings");
+    let epochs: usize = args
+        .iter()
+        .position(|a| a == "--epochs")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("--epochs takes a count")?
+                .parse::<usize>()
+                .map_err(|e| format!("bad epoch count: {e}"))
+        })
+        .transpose()?
+        .filter(|&n| n > 0)
+        .unwrap_or(8);
+    let obs = Obs::enabled();
+    let (ds, _) = load_obs(path, &obs)?;
+    // Ceiling-divide the window so N epochs tile it exactly.
+    let len = Seconds(((ds.window().length().get() + epochs as i64 - 1) / epochs as i64).max(1));
+    let service = AnalysisService::new(&ds, PipelineOptions::default(), len, &obs);
+    println!(
+        "== serving {path}: {} epochs of {} s ==",
+        service.epochs(),
+        len.get()
+    );
+    while let Some(stats) = service.try_append().map_err(|e| e.to_string())? {
+        let top = service
+            .top_targets(3)
+            .map(|a| {
+                a.value
+                    .iter()
+                    .map(|(cc, n)| format!("{cc}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  watermark {}/{} | epoch {}: +{} attacks, {} passes re-ran | top {top}",
+            service.watermark(),
+            service.epochs(),
+            stats.epoch,
+            stats.attacks,
+            stats.reran.len()
+        );
+    }
+    let snap = service
+        .snapshot()
+        .ok_or("service published no snapshot (empty trace?)")?;
+    let report = &snap.report;
+    println!(
+        "== final snapshot (watermark {}/{}) ==",
+        snap.watermark, snap.epochs
+    );
+    let m = report.summary.measured;
+    println!(
+        "{} attacks | {} bot IPs in {} countries | {} victims in {} countries",
+        m.attacks, m.attackers.ips, m.attackers.countries, m.victims.ips, m.victims.countries
+    );
+    println!(
+        "collaborations: {} pairs, {} events",
+        report.collaborations.pairs.len(),
+        report.collaborations.events.len()
+    );
+    if let Some(mean) = report.blacklist.mean_coverage() {
+        println!("blacklist warm-up coverage: {mean:.3}");
+    }
+    if timings {
+        eprintln!("{}", obs.finish(false).render());
     }
     Ok(())
 }

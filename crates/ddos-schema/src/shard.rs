@@ -15,9 +15,9 @@
 
 use std::ops::Range;
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, DatasetBuilder};
 use crate::record::{AttackRecord, BotRecord};
-use crate::time::{Seconds, Window};
+use crate::time::{Seconds, Timestamp, Window};
 
 /// A borrowed view of one epoch's slice of a dataset.
 #[derive(Debug, Clone)]
@@ -149,6 +149,77 @@ impl Dataset {
             })
             .collect()
     }
+
+    /// Materializes the dataset a consumer of the first `epochs` shards
+    /// of [`Dataset::shards`]`(epoch_len)` has seen: the attacks of
+    /// those shards (a prefix of the `(start, id)`-sorted attack list,
+    /// clamping included) and the bot records *first seen* inside them,
+    /// in original order, with botnet records and snapshot series
+    /// carried over verbatim (they are trace-wide metadata, not epoch
+    /// streams). The window stays the full trace window, so epoch
+    /// boundaries — and therefore shard slicing of the prefix — line up
+    /// with the original partition.
+    ///
+    /// With `epochs` equal to the shard count the result is equivalent
+    /// to the original dataset. The incremental engine's prefix-exact
+    /// mode materializes passes against this to make every intermediate
+    /// report an exact prefix report.
+    ///
+    /// # Panics
+    ///
+    /// If `epochs` is zero or exceeds the number of shards the slicing
+    /// produces.
+    pub fn epoch_prefix(&self, epoch_len: Seconds, epochs: usize) -> Dataset {
+        let window = self.window();
+        let spans = window.epochs(epoch_len);
+        let n = spans.len();
+        assert!(
+            epochs >= 1 && epochs <= n,
+            "epoch_prefix: epochs {epochs} outside 1..={n}"
+        );
+        // Same boundary rule as `shards`: epoch e starts at the first
+        // attack with `start >= spans[e].start`; the last epoch (and so
+        // a full prefix) runs to the end regardless of clamping.
+        let attack_end = if epochs == n {
+            self.len()
+        } else {
+            self.attacks()
+                .partition_point(|a| a.start < spans[epochs].start)
+        };
+        // Same clamped epoch assignment as `shards`, keyed on
+        // `first_seen`: a record belongs to the prefix iff the epoch it
+        // first appears in has been consumed.
+        let len = epoch_len.get().max(1);
+        let last = n as i64 - 1;
+        let epoch_of = |t: Timestamp| -> i64 {
+            if n == 1 {
+                return 0;
+            }
+            (t - window.start).get().div_euclid(len).clamp(0, last)
+        };
+        let mut builder = DatasetBuilder::new(window).allow_out_of_window();
+        builder.extend_attacks_prevalidated(self.attacks()[..attack_end].to_vec());
+        builder.extend_bots_prevalidated(
+            self.bots()
+                .iter()
+                .filter(|b| epoch_of(b.first_seen) < epochs as i64)
+                .copied()
+                .collect(),
+        );
+        builder.extend_botnets_prevalidated(self.botnets().to_vec());
+        for family in self.snapshot_families().collect::<Vec<_>>() {
+            let series = self
+                .snapshots(family)
+                .expect("snapshot_families listed it")
+                .clone();
+            builder
+                .set_snapshots(family, series)
+                .expect("series copied from a valid dataset");
+        }
+        builder
+            .build()
+            .expect("a prefix of a valid dataset is valid")
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +285,70 @@ mod tests {
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0].attack_range(), 0..ds.len());
         assert_eq!(shards[0].span(), ds.window());
+    }
+
+    fn bot(ip: u8, first_seen: i64, last_seen: i64) -> BotRecord {
+        BotRecord {
+            ip: crate::ip::IpAddr4::from_octets(10, 0, 0, ip),
+            botnet: crate::ids::BotnetId(7),
+            family: crate::family::Family::Dirtjumper,
+            location: crate::record::test_fixtures::location(),
+            first_seen: Timestamp(first_seen),
+            last_seen: Timestamp(last_seen),
+        }
+    }
+
+    fn dataset_with_bots() -> Dataset {
+        let mut b = DatasetBuilder::new(window());
+        for (id, start) in [(1, 50), (2, 250), (3, 260), (4, 990)] {
+            b.push_attack(attack(id, start)).unwrap();
+        }
+        // First seen in epochs 0, 1, and 3 of a 250 s slicing; the
+        // second record re-observes into epoch 2.
+        b.push_bot(bot(1, 40, 60)).unwrap();
+        b.push_bot(bot(2, 300, 600)).unwrap();
+        b.push_bot(bot(3, 800, 990)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_epoch_prefix_is_the_original_dataset() {
+        let ds = dataset_with_bots();
+        let n = ds.shards(Seconds(250)).len();
+        let full = ds.epoch_prefix(Seconds(250), n);
+        assert_eq!(
+            crate::codec::encode(&full),
+            crate::codec::encode(&ds),
+            "a full prefix must round-trip the dataset"
+        );
+    }
+
+    #[test]
+    fn epoch_prefix_tracks_shard_attack_bounds_and_first_seen() {
+        let ds = dataset_with_bots();
+        let shards = ds.shards(Seconds(250));
+        let expect_bots = [1, 2, 2, 3];
+        for w in 1..=shards.len() {
+            let prefix = ds.epoch_prefix(Seconds(250), w);
+            assert_eq!(
+                prefix.len(),
+                shards[w - 1].attack_range().end,
+                "watermark {w}: attack prefix"
+            );
+            assert_eq!(
+                prefix.bots().len(),
+                expect_bots[w - 1],
+                "watermark {w}: bots first seen before epoch {w}"
+            );
+            // The window (and so any re-slicing) matches the original.
+            assert_eq!(prefix.window(), ds.window());
+            assert_eq!(prefix.botnets().len(), ds.botnets().len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn epoch_prefix_rejects_zero_epochs() {
+        let _ = dataset_with_bots().epoch_prefix(Seconds(250), 0);
     }
 }

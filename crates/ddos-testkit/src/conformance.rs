@@ -3,7 +3,7 @@
 
 use std::sync::OnceLock;
 
-use ddos_analytics::{AnalysisReport, PipelineOptions};
+use ddos_analytics::{Analysis, AnalysisReport};
 use ddos_obs::fnv1a_64_hex;
 use ddos_schema::Dataset;
 use ddos_sim::{generate, GeneratedTrace, SimConfig};
@@ -78,14 +78,8 @@ pub fn assert_cells_match_golden(ds: &Dataset, cells: &[Cell], want: &str) {
 /// offending description instead of panicking so the soak loop can
 /// fold it into a failure bundle.
 pub fn check_telemetry_purity(ds: &Dataset) -> Result<(), String> {
-    let on = AnalysisReport::run_opts(ds, PipelineOptions::default());
-    let off = AnalysisReport::run_opts(
-        ds,
-        PipelineOptions {
-            telemetry: false,
-            ..PipelineOptions::default()
-        },
-    );
+    let on = Analysis::new(ds).run();
+    let off = Analysis::new(ds).telemetry(false).run();
     let on_json = serde_json::to_string(&on).expect("report serializes");
     let off_json = serde_json::to_string(&off).expect("report serializes");
     if on_json != off_json {

@@ -14,20 +14,13 @@
 //! simply `unwrap()`. In release builds the seam is compiled out
 //! (`ddos_failpoints::ACTIVE`), so the helper is a no-op.
 
-use ddos_analytics::{AnalysisReport, PipelineOptions};
+use ddos_analytics::Analysis;
 use ddos_failpoints::{names, FailPlan, ACTIVE};
 use ddos_schema::{codec, csv, framed, Dataset, Seconds};
 
 use crate::conformance::report_digest;
 
 const WEEK_S: i64 = 7 * 24 * 3600;
-
-fn serial() -> PipelineOptions {
-    PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    }
-}
 
 /// `Err` unless `got` is an error mentioning the injected failpoint.
 fn expect_injected<T, E: std::fmt::Display>(
@@ -125,31 +118,25 @@ pub fn inject_and_recover(name: &str, ds: &Dataset) -> Result<(), String> {
             }
         }
         names::EPOCH_MERGE => {
-            let clean = report_digest(&AnalysisReport::run_epochs(ds, serial(), Seconds(WEEK_S)));
+            let folded = || Analysis::new(ds).parallel(false).epochs(Seconds(WEEK_S));
+            let clean = report_digest(&folded().run());
             {
                 let _scope = FailPlan::new().fail_nth(name, 0).install();
-                expect_injected(
-                    AnalysisReport::try_run_epochs(ds, serial(), Seconds(WEEK_S)),
-                    name,
-                    "try_run_epochs",
-                )?;
+                expect_injected(folded().try_run(), name, "epoch-folded try_run")?;
             }
-            let retried = report_digest(&AnalysisReport::run_epochs(ds, serial(), Seconds(WEEK_S)));
+            let retried = report_digest(&folded().run());
             if retried != clean {
                 return Err("epoch fold retry diverged from the clean report".into());
             }
         }
         names::SCHEDULER_PASS => {
-            let clean = report_digest(&AnalysisReport::run_opts(ds, serial()));
+            let batch = || Analysis::new(ds).parallel(false);
+            let clean = report_digest(&batch().run());
             {
                 let _scope = FailPlan::new().fail_nth(name, 0).install();
-                expect_injected(
-                    AnalysisReport::try_run_opts(ds, serial()),
-                    name,
-                    "try_run_opts",
-                )?;
+                expect_injected(batch().try_run(), name, "monolithic try_run")?;
             }
-            let retried = report_digest(&AnalysisReport::run_opts(ds, serial()));
+            let retried = report_digest(&batch().run());
             if retried != clean {
                 return Err("pass scheduler retry diverged from the clean report".into());
             }

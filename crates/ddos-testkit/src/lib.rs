@@ -18,6 +18,9 @@
 //! * [`faults`] — drive any named failpoint (see [`failpoints`]) to an
 //!   `Err`, then prove the retry without the fault reproduces the
 //!   clean result.
+//! * [`serve`] — the snapshot-isolation probe: replay a trace through
+//!   an `AnalysisService` and pin its published watermarks to fresh
+//!   epoch-prefix runs.
 //! * [`soak`] — N seeded rounds of the full differential check
 //!   (`repro --soak N`), emitting a reproducible failure bundle on the
 //!   first divergence.
@@ -27,6 +30,7 @@
 
 pub mod conformance;
 pub mod faults;
+pub mod serve;
 pub mod soak;
 pub mod variant;
 
@@ -39,5 +43,6 @@ pub use conformance::{
     report_digest, small_dataset, small_trace,
 };
 pub use faults::inject_and_recover;
+pub use serve::check_serve_conformance;
 pub use soak::{run_soak, SoakFailure, SoakOptions, SoakRound, SoakSummary};
 pub use variant::{matrix, matrix_full, Build, Cell, CellError, Ingest, Kernels, Scheduler};

@@ -1,0 +1,69 @@
+//! Serve conformance probe for the soak loop.
+//!
+//! Replays a round's trace through an [`AnalysisService`] epoch by
+//! epoch and checks the service's snapshot-isolation contract against
+//! the round's agreed digest: the final published snapshot must match
+//! the matrix digest byte for byte, and one mid-stream watermark must
+//! answer exactly like a fresh monolithic run over the same epoch
+//! prefix ([`ddos_schema::Dataset::epoch_prefix`]).
+
+use ddos_analytics::{Analysis, PipelineOptions};
+use ddos_obs::Obs;
+use ddos_schema::{Dataset, Seconds};
+use ddos_serve::AnalysisService;
+
+use crate::conformance::report_digest;
+
+/// Ingests `ds` through a fresh service (about four epochs) and
+/// verifies the final snapshot against `want` plus one mid-stream
+/// watermark against a fresh prefix run. Returns the epoch count on
+/// success, the offending description otherwise (so the soak loop can
+/// fold it into a failure bundle); test suites simply `unwrap()`.
+pub fn check_serve_conformance(ds: &Dataset, want: &str) -> Result<usize, String> {
+    let target = 4i64;
+    let len = Seconds(((ds.window().length().get() + target - 1) / target).max(1));
+    let obs = Obs::disabled();
+    let service = AnalysisService::new(ds, PipelineOptions::default(), len, &obs);
+    let epochs = service.epochs();
+    let mid = (epochs / 2).max(1);
+    let mut mid_digest = None;
+    loop {
+        match service.try_append() {
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(e) => return Err(format!("serve append errored with no fault plan: {e}")),
+        }
+        if service.watermark() == mid && mid_digest.is_none() {
+            let snap = service
+                .snapshot()
+                .ok_or_else(|| "append published no snapshot".to_string())?;
+            mid_digest = Some(report_digest(&snap.report));
+        }
+    }
+    if service.watermark() != epochs {
+        return Err(format!(
+            "service finished at watermark {} of {epochs}",
+            service.watermark()
+        ));
+    }
+    let snap = service
+        .snapshot()
+        .ok_or_else(|| "complete service published no snapshot".to_string())?;
+    let final_digest = report_digest(&snap.report);
+    if final_digest != want {
+        return Err(format!(
+            "serve final snapshot (watermark {epochs}) diverged from the round digest: \
+             {final_digest} != {want}"
+        ));
+    }
+    if let Some(got) = mid_digest {
+        let fresh = report_digest(&Analysis::new(&ds.epoch_prefix(len, mid)).run());
+        if got != fresh {
+            return Err(format!(
+                "serve snapshot at watermark {mid}/{epochs} diverged from a fresh \
+                 prefix run: {got} != {fresh}"
+            ));
+        }
+    }
+    Ok(epochs)
+}

@@ -27,6 +27,7 @@ use serde::Serialize;
 
 use crate::conformance::{check_telemetry_purity, report_digest};
 use crate::faults::inject_and_recover;
+use crate::serve::check_serve_conformance;
 use crate::variant::{matrix, matrix_full, Cell};
 
 /// Knobs for one soak run.
@@ -72,6 +73,9 @@ pub struct SoakRound {
     pub digest: String,
     /// The failpoint probed this round, if the probe ran.
     pub probed: Option<String>,
+    /// Epochs the serve conformance probe replayed through an
+    /// `AnalysisService` (final + mid-stream watermarks verified).
+    pub serve_epochs: usize,
 }
 
 /// A finished, fully green soak run.
@@ -91,7 +95,7 @@ pub struct SoakFailure {
     /// Sim scale the round ran at.
     pub scale: f64,
     /// Label of the diverging variant cell (or the pseudo-cells
-    /// `telemetry-purity` / `failpoint:<name>`).
+    /// `telemetry-purity` / `serve-conformance` / `failpoint:<name>`).
     pub cell: String,
     /// Digest the round's reference cell produced.
     pub expected: String,
@@ -199,6 +203,19 @@ pub fn run_soak(
                 detail,
             ));
         }
+        // Snapshot isolation: the serve path must publish the same
+        // bytes the matrix agreed on, at every probed watermark.
+        let serve_epochs = match check_serve_conformance(ds, &digest) {
+            Ok(n) => n,
+            Err(detail) => {
+                return Err(fail(
+                    "serve-conformance".into(),
+                    digest.clone(),
+                    String::new(),
+                    detail,
+                ))
+            }
+        };
         // Rotating fault probe: one failpoint per round, full
         // inject-error-retry-recover cycle (debug builds only).
         let probed = if opts.faults && ddos_failpoints::ACTIVE {
@@ -222,6 +239,7 @@ pub fn run_soak(
             cells: cells.len(),
             digest,
             probed,
+            serve_epochs,
         };
         progress(&summary);
         rounds.push(summary);

@@ -14,7 +14,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ddos_analytics::{AnalysisReport, KernelPolicy, PipelineError, PipelineOptions, StreamFold};
+use ddos_analytics::{Analysis, AnalysisReport, KernelPolicy, PipelineError, StreamFold};
 use ddos_obs::Obs;
 use ddos_schema::{codec, framed, Dataset, SchemaError, Seconds};
 use ddos_stats::ArimaSpec;
@@ -42,17 +42,17 @@ pub enum Ingest {
 /// How the analysis context comes together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Build {
-    /// One-shot context build (`run_opts`).
+    /// One-shot context build (the `Analysis` builder's default).
     Monolithic,
-    /// The pre-refactor monolithic reference (`run_baseline`); ignores
-    /// the scheduler and kernel axes by construction.
+    /// The pre-refactor monolithic reference (`Analysis::baseline`);
+    /// ignores the scheduler and kernel axes by construction.
     Baseline,
-    /// Epoch-sharded batch fold (`run_epochs`).
+    /// Epoch-sharded batch fold (`Analysis::epochs`).
     EpochFolded {
         /// Epoch length in seconds.
         epoch_len_s: i64,
     },
-    /// One-epoch-at-a-time appends (`run_incremental`).
+    /// One-epoch-at-a-time appends (`Analysis::incremental`).
     Incremental {
         /// Epoch length in seconds.
         epoch_len_s: i64,
@@ -215,20 +215,19 @@ impl Cell {
             }
         };
         let parallel = matches!(self.scheduler, Scheduler::Parallel);
-        let opts = PipelineOptions {
-            parallel,
-            kernels: self.kernels.policy(),
-            ..PipelineOptions::default()
+        let base = || {
+            Analysis::new(ds)
+                .parallel(parallel)
+                .kernels(self.kernels.policy())
         };
         let report = match self.build {
-            Build::Monolithic => AnalysisReport::try_run_opts(ds, opts)?,
-            Build::Baseline => AnalysisReport::run_baseline(ds, ArimaSpec::DEFAULT),
-            Build::EpochFolded { epoch_len_s } => {
-                AnalysisReport::try_run_epochs(ds, opts, Seconds(epoch_len_s))?
-            }
-            Build::Incremental { epoch_len_s } => {
-                AnalysisReport::try_run_incremental(ds, opts, Seconds(epoch_len_s))?
-            }
+            Build::Monolithic => base().try_run()?,
+            Build::Baseline => Analysis::new(ds).baseline().try_run()?,
+            Build::EpochFolded { epoch_len_s } => base().epochs(Seconds(epoch_len_s)).try_run()?,
+            Build::Incremental { epoch_len_s } => base()
+                .epochs(Seconds(epoch_len_s))
+                .incremental()
+                .try_run()?,
             Build::Streamed { epoch_len_s } => {
                 let obs = Obs::disabled();
                 let mut fold = StreamFold::new(ds.window());
@@ -240,7 +239,7 @@ impl Cell {
                     .expect("a dataset always yields at least one epoch batch")
                     .into_context(ds, ArimaSpec::DEFAULT)
                     .with_kernels(self.kernels.policy());
-                AnalysisReport::run_on(&ctx, parallel)
+                Analysis::over(&ctx).parallel(parallel).try_run()?
             }
         };
         Ok(report)

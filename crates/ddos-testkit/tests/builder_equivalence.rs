@@ -1,0 +1,187 @@
+//! Shim-equivalence suite: every deprecated legacy entry point must
+//! produce bytes identical to its documented `Analysis` builder
+//! spelling (and, where the variant is golden-pinned, to the committed
+//! digest). This is the one place the workspace is allowed to call the
+//! deprecated functions — the CI lint gate (`-D deprecated`) keeps
+//! every other caller on the builder.
+#![allow(deprecated)]
+
+use ddos_analytics::{Analysis, AnalysisContext, AnalysisReport, PipelineOptions, StreamFold};
+use ddos_obs::Obs;
+use ddos_schema::{framed, Seconds};
+use ddos_stats::ArimaSpec;
+use ddos_testkit::{golden_digest, matrix, report_digest, small_dataset};
+
+const WEEK: Seconds = Seconds(7 * 24 * 3600);
+
+fn assert_pair(legacy: &AnalysisReport, builder: &AnalysisReport, name: &str) {
+    assert_eq!(
+        report_digest(legacy),
+        report_digest(builder),
+        "legacy `{name}` diverged from its builder spelling"
+    );
+}
+
+/// Each of the twelve legacy entry points against the builder spelling
+/// its deprecation note names. The batch-shaped ones are additionally
+/// pinned to the golden digest.
+#[test]
+fn every_legacy_entry_point_matches_its_builder_spelling() {
+    let ds = small_dataset();
+    let golden = golden_digest();
+    let spec = ArimaSpec::DEFAULT;
+    let opts = PipelineOptions::new().parallel(false);
+
+    let pairs: Vec<(&str, AnalysisReport, AnalysisReport)> = vec![
+        (
+            "run_with",
+            AnalysisReport::run_with(ds, spec),
+            Analysis::new(ds).spec(spec).run(),
+        ),
+        (
+            "run_opts",
+            AnalysisReport::run_opts(ds, opts),
+            Analysis::new(ds).options(opts).run(),
+        ),
+        (
+            "try_run_opts",
+            AnalysisReport::try_run_opts(ds, opts).expect("clean run"),
+            Analysis::new(ds)
+                .options(opts)
+                .try_run()
+                .expect("clean run"),
+        ),
+        (
+            "run_epochs",
+            AnalysisReport::run_epochs(ds, opts, WEEK),
+            Analysis::new(ds).options(opts).epochs(WEEK).run(),
+        ),
+        (
+            "try_run_epochs",
+            AnalysisReport::try_run_epochs(ds, opts, WEEK).expect("clean run"),
+            Analysis::new(ds)
+                .options(opts)
+                .epochs(WEEK)
+                .try_run()
+                .expect("clean run"),
+        ),
+        (
+            "run_incremental",
+            AnalysisReport::run_incremental(ds, opts, WEEK),
+            Analysis::new(ds)
+                .options(opts)
+                .epochs(WEEK)
+                .incremental()
+                .run(),
+        ),
+        (
+            "try_run_incremental",
+            AnalysisReport::try_run_incremental(ds, opts, WEEK).expect("clean run"),
+            Analysis::new(ds)
+                .options(opts)
+                .epochs(WEEK)
+                .incremental()
+                .try_run()
+                .expect("clean run"),
+        ),
+    ];
+    for (name, legacy, builder) in &pairs {
+        assert_pair(legacy, builder, name);
+        assert_eq!(
+            report_digest(legacy),
+            golden,
+            "legacy `{name}` diverged from the golden digest"
+        );
+    }
+
+    // run_baseline deliberately reports a reduced section set, so it is
+    // pinned only against its builder spelling.
+    assert_pair(
+        &AnalysisReport::run_baseline(ds, spec),
+        &Analysis::new(ds).spec(spec).baseline().run(),
+        "run_baseline",
+    );
+}
+
+/// The obs-carrying entry points: byte-identical reports, and the
+/// caller's `Obs` receives the run's spans either way.
+#[test]
+fn obs_entry_points_match_and_record() {
+    let ds = small_dataset();
+    let opts = PipelineOptions::new().parallel(false);
+
+    let legacy_obs = Obs::enabled();
+    let builder_obs = Obs::enabled();
+    let legacy = AnalysisReport::run_obs(ds, opts, &legacy_obs);
+    let builder = Analysis::new(ds).options(opts).obs(&builder_obs).run();
+    assert_pair(&legacy, &builder, "run_obs");
+    // Both spellings drain the caller's obs into the report artifact.
+    assert!(legacy.telemetry.span("context").is_some());
+    assert!(builder.telemetry.span("context").is_some());
+
+    let legacy_obs = Obs::enabled();
+    let builder_obs = Obs::enabled();
+    assert_pair(
+        &AnalysisReport::try_run_obs(ds, opts, &legacy_obs).expect("clean run"),
+        &Analysis::new(ds)
+            .options(opts)
+            .obs(&builder_obs)
+            .try_run()
+            .expect("clean run"),
+        "try_run_obs",
+    );
+}
+
+/// `run_path` against the builder over the same reopened dataset.
+#[test]
+fn run_path_matches_open_then_build() {
+    let ds = small_dataset();
+    let path = std::env::temp_dir().join(format!(
+        "ddos-testkit-builder-equiv-{}.ddtl",
+        std::process::id()
+    ));
+    std::fs::write(&path, framed::encode(ds)).expect("write trace");
+    let legacy = AnalysisReport::run_path(&path).expect("legacy open");
+    let reopened = ddos_schema::Dataset::open(&path).expect("builder open");
+    let _ = std::fs::remove_file(&path);
+    assert_pair(&legacy, &Analysis::new(&reopened).run(), "run_path");
+    assert_eq!(report_digest(&legacy), golden_digest());
+}
+
+/// `run_on` (prebuilt context handed to the scheduler) against
+/// `Analysis::over`, on both a built and a streamed context.
+#[test]
+fn run_on_matches_analysis_over() {
+    let ds = small_dataset();
+    let built = AnalysisContext::build(ds, ArimaSpec::DEFAULT);
+    for parallel in [false, true] {
+        assert_pair(
+            &AnalysisReport::run_on(&built, parallel),
+            &Analysis::over(&built).parallel(parallel).run(),
+            "run_on",
+        );
+    }
+
+    let obs = Obs::disabled();
+    let mut fold = StreamFold::new(ds.window());
+    for batch in ddos_sim::feed::replay_epochs(ds, WEEK) {
+        fold.push(&batch, &obs);
+    }
+    let streamed = fold
+        .finish()
+        .expect("batches were pushed")
+        .into_context(ds, ArimaSpec::DEFAULT);
+    assert_pair(
+        &AnalysisReport::run_on(&streamed, false),
+        &Analysis::over(&streamed).parallel(false).run(),
+        "run_on(streamed)",
+    );
+}
+
+/// The whole 26-cell variant matrix still agrees with the golden
+/// digest when driven through the builder (the cells were migrated to
+/// builder spellings; this pins that migration changed nothing).
+#[test]
+fn builder_driven_matrix_stays_golden() {
+    ddos_testkit::assert_cells_match_golden(small_dataset(), &matrix(), &golden_digest());
+}

@@ -7,9 +7,7 @@
 //! the release-inertness test at the bottom pins from both sides.
 #![cfg(debug_assertions)]
 
-use ddos_analytics::{
-    AnalysisReport, IncrementalPipeline, PipelineError, PipelineOptions, StreamFold,
-};
+use ddos_analytics::{Analysis, IncrementalPipeline, PipelineError, PipelineOptions, StreamFold};
 use ddos_obs::Obs;
 use ddos_schema::{framed, Seconds};
 use ddos_testkit::failpoints::{names, FailPlan, ACTIVE};
@@ -18,10 +16,7 @@ use ddos_testkit::{golden_digest, inject_and_recover, report_digest, small_datas
 const WEEK: Seconds = Seconds(7 * 24 * 3600);
 
 fn serial() -> PipelineOptions {
-    PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    }
+    PipelineOptions::new().parallel(false)
 }
 
 /// The blanket contract, at every named failpoint: injected fault ⇒
@@ -55,7 +50,7 @@ fn mid_frame_faults_error_on_both_decode_paths() {
     // And the retry decodes the identical dataset.
     let clean = framed::decode(&bytes).expect("clean decode");
     assert_eq!(
-        report_digest(&AnalysisReport::run_opts(&clean, serial())),
+        report_digest(&Analysis::new(&clean).parallel(false).run()),
         golden_digest()
     );
 }
@@ -123,7 +118,7 @@ fn stream_fold_resumes_after_push_fault() {
         .expect("at least one batch")
         .into_context(ds, ddos_stats::ArimaSpec::DEFAULT);
     assert_eq!(
-        report_digest(&AnalysisReport::run_on(&ctx, false)),
+        report_digest(&Analysis::over(&ctx).parallel(false).run()),
         golden_digest()
     );
 }
@@ -137,7 +132,8 @@ fn parallel_scheduler_fault_is_deterministic() {
     let mut seen = None;
     for _ in 0..3 {
         let _scope = FailPlan::new().fail_always(names::SCHEDULER_PASS).install();
-        let err = AnalysisReport::try_run_opts(ds, PipelineOptions::default())
+        let err = Analysis::new(ds)
+            .try_run()
             .expect_err("always-fail plan must error");
         let msg = err.to_string();
         match &seen {
@@ -156,7 +152,11 @@ fn injections_move_the_fault_counter() {
     let obs = Obs::enabled();
     {
         let _scope = FailPlan::new().fail_nth(names::SCHEDULER_PASS, 0).install();
-        AnalysisReport::try_run_obs(ds, serial(), &obs).expect_err("fault must surface");
+        Analysis::new(ds)
+            .parallel(false)
+            .obs(&obs)
+            .try_run()
+            .expect_err("fault must surface");
     }
     let telemetry = obs.finish(false);
     let count = telemetry

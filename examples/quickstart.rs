@@ -7,7 +7,7 @@
 //! `scale` defaults to `0.1` (≈5,000 attacks). Use `1.0` for the paper's
 //! full 50,704-attack workload.
 
-use ddos_analytics::AnalysisReport;
+use ddos_analytics::prelude::*;
 use ddos_sim::{generate, SimConfig};
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
     );
 
     let t1 = std::time::Instant::now();
-    let report = AnalysisReport::run(&trace.dataset);
+    let report = Analysis::new(&trace.dataset).run();
     eprintln!("analysis pipeline finished in {:?}\n", t1.elapsed());
 
     // The paper's headline characterization, in one screen.

@@ -8,7 +8,8 @@
 //! a balanced tree fold, and an incremental append all agree.
 
 use ddos_analytics::{
-    AnalysisContext, AnalysisReport, EpochContext, IncrementalPipeline, PipelineOptions, StreamFold,
+    Analysis, AnalysisContext, AnalysisReport, EpochContext, IncrementalPipeline, PipelineOptions,
+    StreamFold,
 };
 use ddos_obs::Obs;
 use ddos_schema::record::Location;
@@ -36,7 +37,8 @@ fn assert_fold_equals_build(ds: &Dataset, epoch_len: Seconds) {
     let folded = fold_shards(ds, epoch_len).into_context(ds, ArimaSpec::DEFAULT);
     built.assert_same_analysis(&folded);
     let json = |ctx: &AnalysisContext| {
-        serde_json::to_string(&AnalysisReport::run_on(ctx, false)).expect("report serializes")
+        serde_json::to_string(&Analysis::over(ctx).parallel(false).run())
+            .expect("report serializes")
     };
     assert_eq!(json(&built), json(&folded), "report bytes diverged");
 }
@@ -245,14 +247,13 @@ fn epoch_engine_report_matches_the_batch_pipeline() {
     let trace = generate(&cfg);
     let ds = &trace.dataset;
     let json = |r: &AnalysisReport| serde_json::to_string(r).unwrap();
-    let batch = json(&AnalysisReport::run_opts(ds, PipelineOptions::default()));
+    let batch = json(&Analysis::new(ds).run());
     for parallel in [false, true] {
-        let opts = PipelineOptions {
-            parallel,
-            ..PipelineOptions::default()
-        };
-        let r = AnalysisReport::run_epochs(ds, opts, Seconds::WEEK);
-        assert_eq!(json(&r), batch, "run_epochs (parallel={parallel}) diverged");
+        let r = Analysis::new(ds)
+            .parallel(parallel)
+            .epochs(Seconds::WEEK)
+            .run();
+        assert_eq!(json(&r), batch, "epoch fold (parallel={parallel}) diverged");
         assert!(r.telemetry.span("epoch/build").is_some());
         assert!(r.telemetry.span("epoch/merge").is_some());
     }
@@ -261,11 +262,7 @@ fn epoch_engine_report_matches_the_batch_pipeline() {
 #[test]
 fn incremental_pipeline_matches_batch_and_skips_clean_passes() {
     let ds = edge_case_dataset();
-    let opts = PipelineOptions {
-        parallel: false,
-        telemetry: false,
-        ..PipelineOptions::default()
-    };
+    let opts = PipelineOptions::new().parallel(false).telemetry(false);
     let mut inc = IncrementalPipeline::new(&ds, opts, Seconds::days(2));
     assert_eq!(inc.epochs(), 5);
     let mut stats = Vec::new();
@@ -284,11 +281,15 @@ fn incremental_pipeline_matches_batch_and_skips_clean_passes() {
     // Epochs contributing attacks re-run the attack readers.
     assert!(stats[1].reran.len() > 1);
     let final_report = inc.into_report();
-    let batch = AnalysisReport::run_opts(&ds, opts);
+    let batch = Analysis::new(&ds).options(opts).run();
     let json = |r: &AnalysisReport| serde_json::to_string(r).unwrap();
     assert_eq!(json(&final_report), json(&batch));
-    // And the one-call wrapper agrees.
-    let wrapped = AnalysisReport::run_incremental(&ds, opts, Seconds::days(2));
+    // And the one-call builder spelling agrees.
+    let wrapped = Analysis::new(&ds)
+        .options(opts)
+        .epochs(Seconds::days(2))
+        .incremental()
+        .run();
     assert_eq!(json(&wrapped), json(&batch));
 }
 
@@ -300,13 +301,9 @@ fn incremental_pipeline_on_sim_trace_matches_batch() {
     };
     let trace = generate(&cfg);
     let ds = &trace.dataset;
-    let opts = PipelineOptions::default();
     let json = |r: &AnalysisReport| serde_json::to_string(r).unwrap();
-    let incremental = AnalysisReport::run_incremental(ds, opts, Seconds::WEEK);
-    assert_eq!(
-        json(&incremental),
-        json(&AnalysisReport::run_opts(ds, opts))
-    );
+    let incremental = Analysis::new(ds).epochs(Seconds::WEEK).incremental().run();
+    assert_eq!(json(&incremental), json(&Analysis::new(ds).run()));
 }
 
 proptest! {

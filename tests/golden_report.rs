@@ -21,7 +21,7 @@
 //! on arbitrary sim configurations, recording telemetry never perturbs
 //! report bytes.
 
-use ddos_analytics::{AnalysisContext, AnalysisReport, PipelineOptions};
+use ddos_analytics::{Analysis, AnalysisContext, AnalysisReport};
 use ddos_sim::{generate, SimConfig};
 use ddos_stats::ArimaSpec;
 use ddos_testkit::{
@@ -41,28 +41,20 @@ fn every_pipeline_variant_matches_the_golden_digest() {
 #[test]
 fn off_lattice_variants_match_the_golden_digest() {
     let ds = small_dataset();
-    let quiet_opts = PipelineOptions {
-        telemetry: false,
-        ..PipelineOptions::default()
-    };
+    let columnar_serial = AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, false);
+    let reference = AnalysisContext::build_reference(ds, ArimaSpec::DEFAULT);
     let variants: Vec<(&str, AnalysisReport)> = vec![
         (
             "parallel, telemetry off",
-            AnalysisReport::run_opts(ds, quiet_opts),
+            Analysis::new(ds).telemetry(false).run(),
         ),
         (
             "scheduler over columnar serial context",
-            AnalysisReport::run_on(
-                &AnalysisContext::build_opts(ds, ArimaSpec::DEFAULT, false),
-                true,
-            ),
+            Analysis::over(&columnar_serial).parallel(true).run(),
         ),
         (
             "scheduler over reference-built context",
-            AnalysisReport::run_on(
-                &AnalysisContext::build_reference(ds, ArimaSpec::DEFAULT),
-                false,
-            ),
+            Analysis::over(&reference).parallel(false).run(),
         ),
     ];
     let want = golden_digest();
@@ -111,22 +103,9 @@ proptest! {
         };
         let trace = generate(&cfg);
         let ds = &trace.dataset;
-        let on = AnalysisReport::run_opts(ds, PipelineOptions::default());
-        let off = AnalysisReport::run_opts(
-            ds,
-            PipelineOptions {
-                telemetry: false,
-                ..PipelineOptions::default()
-            },
-        );
-        let off_serial = AnalysisReport::run_opts(
-            ds,
-            PipelineOptions {
-                telemetry: false,
-                parallel: false,
-                ..PipelineOptions::default()
-            },
-        );
+        let on = Analysis::new(ds).run();
+        let off = Analysis::new(ds).telemetry(false).run();
+        let off_serial = Analysis::new(ds).telemetry(false).parallel(false).run();
         let json = |r: &AnalysisReport| serde_json::to_string(r).expect("report serializes");
         prop_assert_eq!(json(&on), json(&off));
         prop_assert_eq!(json(&on), json(&off_serial));

@@ -15,21 +15,17 @@
 //! blacklist replay — including each one's f64 ordering contract.
 
 use ddos_analytics::collab::concurrent::CollabAnalysis;
-use ddos_analytics::{AnalysisContext, AnalysisReport, KernelPolicy, PipelineOptions};
+use ddos_analytics::{Analysis, AnalysisContext, KernelPolicy};
 use ddos_sim::{generate, SimConfig};
 use ddos_stats::ArimaSpec;
 use proptest::prelude::*;
 
 fn report_json(ds: &ddos_schema::Dataset, kernels: KernelPolicy, parallel: bool) -> String {
-    let report = AnalysisReport::run_opts(
-        ds,
-        PipelineOptions {
-            kernels,
-            parallel,
-            telemetry: false,
-            ..PipelineOptions::default()
-        },
-    );
+    let report = Analysis::new(ds)
+        .kernels(kernels)
+        .parallel(parallel)
+        .telemetry(false)
+        .run();
     serde_json::to_string(&report).expect("report serializes")
 }
 
